@@ -1,0 +1,216 @@
+//! On-disk tuning cache: "we then save this switch point parameter for
+//! future runs" (§IV-D). JSON, keyed by device name + element width.
+
+use crate::tuners::TunedConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// A persistent map from device identity to tuned configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct TuningCache {
+    entries: BTreeMap<String, TunedConfig>,
+}
+
+impl TuningCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache key for a device/element-width pair.
+    pub fn key(device_name: &str, elem_bytes: usize) -> String {
+        format!("{device_name}/f{}", elem_bytes * 8)
+    }
+
+    /// The workload *class* of a shape: log2 buckets of system count and
+    /// size. Tuned configurations transfer well within a class (the tuner's
+    /// decisions depend on how the workload relates to machine capacity,
+    /// which moves by powers of two), so this is the cache granularity for
+    /// per-workload tuning.
+    pub fn shape_class(shape: trisolve_tridiag::workloads::WorkloadShape) -> String {
+        let bucket = |v: usize| v.max(1).next_power_of_two().trailing_zeros();
+        format!(
+            "m2^{}-n2^{}",
+            bucket(shape.num_systems),
+            bucket(shape.system_size)
+        )
+    }
+
+    /// Cache key for a device/element-width/workload-class triple.
+    pub fn key_for(
+        device_name: &str,
+        elem_bytes: usize,
+        shape: trisolve_tridiag::workloads::WorkloadShape,
+    ) -> String {
+        format!(
+            "{}/{}",
+            Self::key(device_name, elem_bytes),
+            Self::shape_class(shape)
+        )
+    }
+
+    /// Store a configuration tuned for a specific workload class.
+    pub fn insert_for(
+        &mut self,
+        device_name: &str,
+        shape: trisolve_tridiag::workloads::WorkloadShape,
+        config: TunedConfig,
+    ) {
+        self.entries
+            .insert(Self::key_for(device_name, config.elem_bytes, shape), config);
+    }
+
+    /// Look up the configuration for a workload class, falling back to the
+    /// device-wide entry if no class-specific one exists.
+    pub fn get_for(
+        &self,
+        device_name: &str,
+        elem_bytes: usize,
+        shape: trisolve_tridiag::workloads::WorkloadShape,
+    ) -> Option<&TunedConfig> {
+        self.entries
+            .get(&Self::key_for(device_name, elem_bytes, shape))
+            .or_else(|| self.get(device_name, elem_bytes))
+    }
+
+    /// Store a tuned configuration.
+    pub fn insert(&mut self, device_name: &str, config: TunedConfig) {
+        self.entries
+            .insert(Self::key(device_name, config.elem_bytes), config);
+    }
+
+    /// Look up a configuration.
+    pub fn get(&self, device_name: &str, elem_bytes: usize) -> Option<&TunedConfig> {
+        self.entries.get(&Self::key(device_name, elem_bytes))
+    }
+
+    /// Number of cached configurations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("cache is always serialisable")
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file; a missing file yields an empty cache.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(onchip: usize, eb: usize) -> TunedConfig {
+        TunedConfig {
+            onchip_size: onchip,
+            thomas_switch: 64,
+            strided_from_stride: 8,
+            stage1_target_systems: 16,
+            elem_bytes: eb,
+            evaluations: 42,
+        }
+    }
+
+    #[test]
+    fn shape_classes_bucket_by_powers_of_two() {
+        use trisolve_tridiag::workloads::WorkloadShape;
+        let c = |m, n| TuningCache::shape_class(WorkloadShape::new(m, n));
+        assert_eq!(c(1024, 1024), c(1000, 1024)); // 1000 rounds up to 1024
+        assert_ne!(c(1024, 1024), c(1, 2 * 1024 * 1024));
+        assert_eq!(c(1, 1), "m2^0-n2^0");
+    }
+
+    #[test]
+    fn class_specific_entries_override_device_wide() {
+        use trisolve_tridiag::workloads::WorkloadShape;
+        let mut cache = TuningCache::new();
+        let device_wide = cfg(256, 4);
+        let per_class = cfg(512, 4);
+        cache.insert("GTX 470", device_wide.clone());
+        let shape = WorkloadShape::new(1, 1 << 21);
+        cache.insert_for("GTX 470", shape, per_class.clone());
+        // The huge-single-system class sees its own config...
+        assert_eq!(cache.get_for("GTX 470", 4, shape), Some(&per_class));
+        // ...other classes fall back to the device-wide entry.
+        let other = WorkloadShape::new(1024, 1024);
+        assert_eq!(cache.get_for("GTX 470", 4, other), Some(&device_wide));
+        // ...and a device with nothing cached sees nothing.
+        assert_eq!(cache.get_for("GTX 280", 4, shape), None);
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut cache = TuningCache::new();
+        assert!(cache.is_empty());
+        cache.insert("GeForce GTX 470", cfg(512, 4));
+        cache.insert("GeForce GTX 470", cfg(256, 8));
+        cache.insert("GeForce GTX 280", cfg(512, 4));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get("GeForce GTX 470", 4).unwrap().onchip_size, 512);
+        assert_eq!(cache.get("GeForce GTX 470", 8).unwrap().onchip_size, 256);
+        assert!(cache.get("GeForce 8800 GTX", 4).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut cache = TuningCache::new();
+        cache.insert("GTX 470", cfg(512, 4));
+        let json = cache.to_json();
+        let back = TuningCache::from_json(&json).unwrap();
+        assert_eq!(cache, back);
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join("trisolve-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuning.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: empty cache, no error.
+        let empty = TuningCache::load(&path).unwrap();
+        assert!(empty.is_empty());
+
+        let mut cache = TuningCache::new();
+        cache.insert("GTX 280", cfg(512, 4));
+        cache.save(&path).unwrap();
+        let loaded = TuningCache::load(&path).unwrap();
+        assert_eq!(cache, loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = std::env::temp_dir().join("trisolve-cache-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(TuningCache::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

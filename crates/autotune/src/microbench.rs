@@ -1,0 +1,111 @@
+//! Micro-benchmark harness for the dynamic tuner: generates (and caches)
+//! tuning workloads and measures candidate configurations on the simulated
+//! device.
+
+use std::collections::HashMap;
+use trisolve_core::kernels::GpuScalar;
+use trisolve_core::{solver, CoreError, SolverParams};
+use trisolve_gpu_sim::Gpu;
+use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+use trisolve_tridiag::SystemBatch;
+
+/// Deterministic seed for tuning workloads: tuning must be reproducible
+/// run-to-run so the cache stays meaningful.
+const TUNING_SEED: u64 = 0x0007_1215_017e;
+
+/// Generates and caches tuning workloads; measures configurations.
+pub struct Microbench<T: GpuScalar> {
+    batches: HashMap<WorkloadShape, SystemBatch<T>>,
+    /// Total configurations measured (for reporting tuning cost).
+    pub measurements: usize,
+}
+
+impl<T: GpuScalar> Default for Microbench<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: GpuScalar> Microbench<T> {
+    /// Fresh, empty harness.
+    pub fn new() -> Self {
+        Self {
+            batches: HashMap::new(),
+            measurements: 0,
+        }
+    }
+
+    /// The (cached) tuning batch for a workload shape.
+    pub fn batch(&mut self, shape: WorkloadShape) -> &SystemBatch<T> {
+        self.batches
+            .entry(shape)
+            .or_insert_with(|| random_dominant(shape, TUNING_SEED).expect("valid tuning shape"))
+    }
+
+    /// Measure the simulated solve time of `params` on `shape`, in seconds.
+    ///
+    /// Configurations that cannot run (invalid on the device, numerical
+    /// breakdown) cost `+inf`, so searches simply step around them.
+    pub fn measure(
+        &mut self,
+        gpu: &mut Gpu<T>,
+        shape: WorkloadShape,
+        params: &SolverParams,
+    ) -> f64 {
+        self.measurements += 1;
+        let batch = self
+            .batches
+            .entry(shape)
+            .or_insert_with(|| random_dominant(shape, TUNING_SEED).expect("valid tuning shape"));
+        match solver::measure_solve_time(gpu, batch, params) {
+            Ok(t) => t,
+            Err(CoreError::BadParams { .. })
+            | Err(CoreError::Device(_))
+            | Err(CoreError::NumericalBreakdown { .. }) => f64::INFINITY,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_core::BaseVariant;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn measures_and_counts() {
+        let mut mb: Microbench<f32> = Microbench::new();
+        let mut gpu = Gpu::new(DeviceSpec::gtx_470());
+        let shape = WorkloadShape::new(32, 512);
+        let p = SolverParams::default_untuned();
+        let t1 = mb.measure(&mut gpu, shape, &p);
+        let t2 = mb.measure(&mut gpu, shape, &p);
+        assert!(t1.is_finite() && t1 > 0.0);
+        assert_eq!(t1, t2); // deterministic
+        assert_eq!(mb.measurements, 2);
+    }
+
+    #[test]
+    fn invalid_configs_cost_infinity() {
+        let mut mb: Microbench<f32> = Microbench::new();
+        let mut gpu = Gpu::new(DeviceSpec::geforce_8800_gtx());
+        let shape = WorkloadShape::new(8, 1024);
+        let p = SolverParams {
+            stage1_target_systems: 16,
+            onchip_size: 1024, // too large for the 8800
+            thomas_switch: 64,
+            variant: BaseVariant::Strided,
+        };
+        assert!(mb.measure(&mut gpu, shape, &p).is_infinite());
+    }
+
+    #[test]
+    fn batches_are_cached() {
+        let mut mb: Microbench<f32> = Microbench::new();
+        let shape = WorkloadShape::new(4, 256);
+        let p1 = mb.batch(shape) as *const _;
+        let p2 = mb.batch(shape) as *const _;
+        assert_eq!(p1, p2);
+    }
+}

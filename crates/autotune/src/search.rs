@@ -1,0 +1,177 @@
+//! Seeded local search over power-of-two axes — the paper's second pruning
+//! strategy: start from the machine-query guess ("we usually get very close
+//! to this local minimum") and iterate over neighbours until none improves.
+
+use crate::space::Pow2Axis;
+use std::collections::HashMap;
+
+/// Bookkeeping from one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct configurations evaluated (each evaluation is a simulated
+    /// micro-benchmark — the quantity the pruning strategies minimise).
+    pub evaluations: usize,
+    /// Hill-climbing moves accepted.
+    pub moves: usize,
+}
+
+/// Hill-climb a single power-of-two axis starting at `start` (clamped onto
+/// the axis). `eval` maps a value to a cost (simulated seconds); lower is
+/// better. Returns `(best_value, best_cost, stats)`.
+///
+/// Evaluations are memoised, so the count reflects distinct probes.
+///
+/// ```
+/// use trisolve_autotune::{hill_climb_pow2, Pow2Axis};
+///
+/// let axis = Pow2Axis::new("block", 32, 1024);
+/// // A unimodal cost with its minimum at 256.
+/// let cost = |v: usize| ((v as f64).log2() - 8.0).abs();
+/// let (best, c, stats) = hill_climb_pow2(axis, 512, cost);
+/// assert_eq!(best, 256);
+/// assert_eq!(c, 0.0);
+/// assert!(stats.evaluations <= axis.len()); // pruned vs exhaustive
+/// ```
+pub fn hill_climb_pow2<F>(axis: Pow2Axis, start: usize, mut eval: F) -> (usize, f64, SearchStats)
+where
+    F: FnMut(usize) -> f64,
+{
+    let mut stats = SearchStats::default();
+    let mut memo: HashMap<usize, f64> = HashMap::new();
+    let mut probe = |v: usize, stats: &mut SearchStats, memo: &mut HashMap<usize, f64>| -> f64 {
+        if let Some(&c) = memo.get(&v) {
+            return c;
+        }
+        stats.evaluations += 1;
+        let c = eval(v);
+        memo.insert(v, c);
+        c
+    };
+
+    let mut cur = axis.clamp(start);
+    let mut cur_cost = probe(cur, &mut stats, &mut memo);
+    loop {
+        let mut best_neighbor: Option<(usize, f64)> = None;
+        for n in axis.neighbors(cur) {
+            let c = probe(n, &mut stats, &mut memo);
+            if c < cur_cost && best_neighbor.is_none_or(|(_, bc)| c < bc) {
+                best_neighbor = Some((n, c));
+            }
+        }
+        match best_neighbor {
+            Some((n, c)) => {
+                cur = n;
+                cur_cost = c;
+                stats.moves += 1;
+            }
+            None => return (cur, cur_cost, stats),
+        }
+    }
+}
+
+/// Exhaustive search over a power-of-two axis (for optimality-gap
+/// comparisons and small spaces like the variant choice).
+pub fn exhaustive_pow2<F>(axis: Pow2Axis, mut eval: F) -> (usize, f64, SearchStats)
+where
+    F: FnMut(usize) -> f64,
+{
+    let mut best = (0usize, f64::INFINITY);
+    let mut stats = SearchStats::default();
+    for v in axis.values() {
+        let c = eval(v);
+        stats.evaluations += 1;
+        if c < best.1 {
+            best = (v, c);
+        }
+    }
+    (best.0, best.1, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis() -> Pow2Axis {
+        Pow2Axis::new("x", 16, 1024)
+    }
+
+    /// A unimodal cost with minimum at 128.
+    fn vee(v: usize) -> f64 {
+        ((v as f64).log2() - 7.0).abs()
+    }
+
+    #[test]
+    fn climbs_to_unimodal_minimum_from_anywhere() {
+        for start in [16usize, 64, 128, 512, 1024] {
+            let (best, cost, _) = hill_climb_pow2(axis(), start, vee);
+            assert_eq!(best, 128, "start={start}");
+            assert_eq!(cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn good_seed_needs_fewer_evaluations() {
+        let (_, _, near) = hill_climb_pow2(axis(), 128, vee);
+        let (_, _, far) = hill_climb_pow2(axis(), 1024, vee);
+        assert!(near.evaluations < far.evaluations);
+        // Seeded at the optimum: probes itself + two neighbours only.
+        assert_eq!(near.evaluations, 3);
+        assert_eq!(near.moves, 0);
+    }
+
+    #[test]
+    fn start_clamped_onto_axis() {
+        let (best, _, _) = hill_climb_pow2(axis(), 100_000, vee);
+        assert_eq!(best, 128);
+        let (best, _, _) = hill_climb_pow2(axis(), 1, vee);
+        assert_eq!(best, 128);
+    }
+
+    #[test]
+    fn memoisation_counts_distinct_probes_only() {
+        let mut calls = 0usize;
+        let (_, _, stats) = hill_climb_pow2(axis(), 1024, |v| {
+            calls += 1;
+            vee(v)
+        });
+        assert_eq!(calls, stats.evaluations);
+    }
+
+    #[test]
+    fn exhaustive_finds_global_minimum() {
+        let (best, cost, stats) = exhaustive_pow2(axis(), vee);
+        assert_eq!(best, 128);
+        assert_eq!(cost, 0.0);
+        assert_eq!(stats.evaluations, axis().len());
+    }
+
+    #[test]
+    fn hill_climb_cheaper_than_exhaustive_on_good_seed() {
+        let (_, _, hc) = hill_climb_pow2(axis(), 256, vee);
+        let (_, _, ex) = exhaustive_pow2(axis(), vee);
+        assert!(hc.evaluations < ex.evaluations);
+    }
+
+    #[test]
+    fn hill_climb_stops_at_local_minimum_of_bimodal_cost() {
+        // Bimodal: minima at 16 (global) and 512 (local). Seeded at 1024 the
+        // climber lands in the local minimum — exactly the behaviour the
+        // paper accepts in exchange for the pruned search.
+        let bimodal = |v: usize| -> f64 {
+            match v {
+                16 => 0.0,
+                32 => 2.0,
+                64 => 3.0,
+                128 => 2.5,
+                256 => 2.0,
+                512 => 1.0,
+                1024 => 1.5,
+                _ => 10.0,
+            }
+        };
+        let (best, _, _) = hill_climb_pow2(axis(), 1024, bimodal);
+        assert_eq!(best, 512);
+        let (best, _, _) = hill_climb_pow2(axis(), 32, bimodal);
+        assert_eq!(best, 16);
+    }
+}

@@ -1,0 +1,150 @@
+//! Parameter-space description and the decoupling arithmetic (§IV-D).
+//!
+//! > "if a parameter P1 had 16 possibilities, and P2 has 32 possibilities,
+//! > and we identify P1 and P2 as independent of each other, then we must
+//! > test only 16+32=48 possibilities instead of 16×32=512."
+
+use serde::{Deserialize, Serialize};
+
+/// A power-of-two tuning axis (`min..=max`, both powers of two).
+///
+/// Every switch point of the multi-stage solver lives on such an axis: PCR
+/// splits halve systems, so only power-of-two values are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pow2Axis {
+    /// Axis name, e.g. `"onchip_size"`.
+    pub name: &'static str,
+    /// Smallest admissible value (inclusive, power of two).
+    pub min: usize,
+    /// Largest admissible value (inclusive, power of two).
+    pub max: usize,
+}
+
+impl Pow2Axis {
+    /// Create an axis; panics if the bounds are not powers of two or empty.
+    pub fn new(name: &'static str, min: usize, max: usize) -> Self {
+        assert!(min.is_power_of_two(), "{name}: min {min} not a power of two");
+        assert!(max.is_power_of_two(), "{name}: max {max} not a power of two");
+        assert!(min <= max, "{name}: empty range {min}..={max}");
+        Self { name, min, max }
+    }
+
+    /// All admissible values, ascending.
+    pub fn values(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut x = self.min;
+        while x <= self.max {
+            v.push(x);
+            x *= 2;
+        }
+        v
+    }
+
+    /// Number of admissible values.
+    pub fn len(&self) -> usize {
+        (self.max.trailing_zeros() - self.min.trailing_zeros()) as usize + 1
+    }
+
+    /// True when the axis has a single value.
+    pub fn is_empty(&self) -> bool {
+        false // a validated axis always has at least one value
+    }
+
+    /// True if `v` lies on the axis.
+    pub fn contains(&self, v: usize) -> bool {
+        v.is_power_of_two() && v >= self.min && v <= self.max
+    }
+
+    /// The (up to two) neighbours of `v` on the axis.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        debug_assert!(self.contains(v));
+        let mut out = Vec::with_capacity(2);
+        if v / 2 >= self.min {
+            out.push(v / 2);
+        }
+        if v * 2 <= self.max {
+            out.push(v * 2);
+        }
+        out
+    }
+
+    /// Clamp an arbitrary value onto the axis (nearest power of two within
+    /// bounds, rounding down).
+    pub fn clamp(&self, v: usize) -> usize {
+        let mut p = self.min;
+        while p * 2 <= v && p * 2 <= self.max {
+            p *= 2;
+        }
+        p
+    }
+}
+
+/// Evaluations needed to search several axes **jointly** (the Cartesian
+/// product an untamed exhaustive tuner would face).
+pub fn joint_evaluations(axes: &[Pow2Axis]) -> usize {
+    axes.iter().map(|a| a.len()).product()
+}
+
+/// Evaluations needed when the axes are **decoupled** and searched
+/// independently — the paper's first pruning strategy.
+pub fn decoupled_evaluations(axes: &[Pow2Axis]) -> usize {
+    axes.iter().map(|a| a.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_values_and_len() {
+        let a = Pow2Axis::new("t4", 16, 512);
+        assert_eq!(a.values(), vec![16, 32, 64, 128, 256, 512]);
+        assert_eq!(a.len(), 6);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn axis_membership_and_neighbors() {
+        let a = Pow2Axis::new("s3", 128, 1024);
+        assert!(a.contains(128));
+        assert!(a.contains(1024));
+        assert!(!a.contains(64));
+        assert!(!a.contains(192));
+        assert_eq!(a.neighbors(128), vec![256]);
+        assert_eq!(a.neighbors(512), vec![256, 1024]);
+        assert_eq!(a.neighbors(1024), vec![512]);
+    }
+
+    #[test]
+    fn axis_clamp() {
+        let a = Pow2Axis::new("s3", 128, 1024);
+        assert_eq!(a.clamp(1), 128);
+        assert_eq!(a.clamp(300), 256);
+        assert_eq!(a.clamp(512), 512);
+        assert_eq!(a.clamp(1 << 20), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn axis_rejects_bad_bounds() {
+        Pow2Axis::new("bad", 3, 8);
+    }
+
+    #[test]
+    fn paper_pruning_arithmetic() {
+        // The paper's example: 16 x 32 = 512 joint vs 16 + 32 = 48 decoupled.
+        let p1 = Pow2Axis::new("p1", 2, 1 << 16); // 16 values
+        let p2 = Pow2Axis::new("p2", 1, 1 << 31); // 32 values
+        assert_eq!(p1.len(), 16);
+        assert_eq!(p2.len(), 32);
+        assert_eq!(joint_evaluations(&[p1, p2]), 512);
+        assert_eq!(decoupled_evaluations(&[p1, p2]), 48);
+    }
+
+    #[test]
+    fn single_value_axis() {
+        let a = Pow2Axis::new("fixed", 64, 64);
+        assert_eq!(a.values(), vec![64]);
+        assert!(a.neighbors(64).is_empty());
+    }
+}

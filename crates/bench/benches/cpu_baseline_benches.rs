@@ -1,0 +1,47 @@
+//! Criterion benches of the *real* (wall-clock) CPU baseline solvers — the
+//! Rust analogue of the paper's MKL runs. These are genuine measurements,
+//! not simulations: the batched LU/Thomas drivers from
+//! `trisolve_tridiag::cpu_batch` on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trisolve_tridiag::cpu_batch::{
+    solve_batch_parallel, solve_batch_scoped, solve_batch_sequential, BatchAlgorithm,
+};
+use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_single_thread");
+    let shape = WorkloadShape::new(64, 1024);
+    let batch = random_dominant::<f64>(shape, 1).unwrap();
+    group.throughput(Throughput::Elements(shape.total_equations() as u64));
+    for (name, algo) in [
+        ("lu_gtsv_style", BatchAlgorithm::Lu),
+        ("thomas", BatchAlgorithm::Thomas),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, &algo| {
+            b.iter(|| solve_batch_sequential(&batch, algo).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_batch_drivers");
+    group.sample_size(20);
+    let shape = WorkloadShape::new(256, 1024);
+    let batch = random_dominant::<f64>(shape, 2).unwrap();
+    group.throughput(Throughput::Elements(shape.total_equations() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| solve_batch_sequential(&batch, BatchAlgorithm::Lu).unwrap())
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| solve_batch_parallel(&batch, BatchAlgorithm::Lu).unwrap())
+    });
+    group.bench_function("two_threads_openmp_style", |b| {
+        b.iter(|| solve_batch_scoped(&batch, BatchAlgorithm::Lu, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_parallel_drivers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of the divide-and-conquer generalisations: simulator
+//! throughput of the multi-stage merge sort, quicksort and FFT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use trisolve_dnc::{fft_on_gpu, quicksort_on_gpu, sort_on_gpu, FftParams, QuickParams, SortParams};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnc_sorts");
+    group.sample_size(10);
+    let len = 1 << 16;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    group.throughput(Throughput::Elements(len as u64));
+    group.bench_with_input(BenchmarkId::new("merge_sort", len), &data, |b, data| {
+        b.iter(|| {
+            let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+            sort_on_gpu(&mut gpu, data, SortParams::default_untuned()).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("quicksort", len), &data, |b, data| {
+        b.iter(|| {
+            let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+            quicksort_on_gpu(&mut gpu, data, QuickParams::default_untuned()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnc_fft");
+    group.sample_size(10);
+    let len = 1 << 16;
+    let re: Vec<f64> = (0..len).map(|i| ((i * 13 % 97) as f64) / 48.5 - 1.0).collect();
+    let im = vec![0.0f64; len];
+    group.throughput(Throughput::Elements(len as u64));
+    group.bench_function("four_step_fft_64k", |b| {
+        b.iter(|| {
+            let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            fft_on_gpu(&mut gpu, &re, &im, FftParams { n1: 512 }).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches of the multi-stage solver running on the simulator.
+//!
+//! Wall-clock time here measures the *simulator's* throughput (the
+//! functional execution of the kernels); the paper-comparable numbers are
+//! the *simulated* times printed by the `fig*` binaries. Keeping these under
+//! `cargo bench` guards the simulation itself against performance
+//! regressions — a slow simulator makes tuning runs impractical, which
+//! matters because the dynamic tuner is a measurement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trisolve_core::{solve_batch_on_gpu, BaseVariant, SolverParams};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+
+fn params(s3: usize, t4: usize) -> SolverParams {
+    SolverParams {
+        stage1_target_systems: 16,
+        onchip_size: s3,
+        thomas_switch: t4,
+        variant: BaseVariant::Strided,
+    }
+}
+
+fn bench_base_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_kernel_only");
+    for &(m, n) in &[(256usize, 256usize), (64, 512)] {
+        let shape = WorkloadShape::new(m, n);
+        let batch = random_dominant::<f32>(shape, 1).unwrap();
+        group.throughput(Throughput::Elements(shape.total_equations() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.label()),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+                    solve_batch_on_gpu(&mut gpu, batch, &params(n, 64.min(n))).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    for &(m, n) in &[(16usize, 4096usize), (1, 1 << 16)] {
+        let shape = WorkloadShape::new(m, n);
+        let batch = random_dominant::<f32>(shape, 2).unwrap();
+        group.throughput(Throughput::Elements(shape.total_equations() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.label()),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+                    solve_batch_on_gpu(&mut gpu, batch, &params(512, 128)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_variants");
+    let shape = WorkloadShape::new(32, 4096);
+    let batch = random_dominant::<f32>(shape, 3).unwrap();
+    for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+                    let p = SolverParams {
+                        variant,
+                        ..params(512, 64)
+                    };
+                    solve_batch_on_gpu(&mut gpu, &batch, &p).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_base_kernel, bench_full_pipeline, bench_variants);
+criterion_main!(benches);

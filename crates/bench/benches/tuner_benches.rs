@@ -1,0 +1,34 @@
+//! Criterion benches of the auto-tuning machinery: how long a dynamic
+//! tuning run takes (the paper reports "less than one minute" on real
+//! hardware; our simulated runs should be far cheaper), and the raw search
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trisolve_autotune::{exhaustive_pow2, hill_climb_pow2, DynamicTuner, Pow2Axis};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_tridiag::workloads::WorkloadShape;
+
+fn bench_tune_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_tune_for");
+    group.sample_size(10);
+    group.bench_function("gtx470_small_batch", |b| {
+        b.iter(|| {
+            let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+            let mut tuner = DynamicTuner::new();
+            tuner.tune_for(&mut gpu, WorkloadShape::new(32, 2048))
+        })
+    });
+    group.finish();
+}
+
+fn bench_search_primitives(c: &mut Criterion) {
+    let axis = Pow2Axis::new("x", 16, 1 << 20);
+    let cost = |v: usize| ((v as f64).log2() - 10.0).abs();
+    c.bench_function("hill_climb_pow2_seeded", |b| {
+        b.iter(|| hill_climb_pow2(axis, 2048, cost))
+    });
+    c.bench_function("exhaustive_pow2", |b| b.iter(|| exhaustive_pow2(axis, cost)));
+}
+
+criterion_group!(benches, bench_tune_for, bench_search_primitives);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerate paper Figure 5: performance at various switch points from
+//! stage 2 (global splitting) to stage 3 (solving in shared memory),
+//! normalised to the best switch point, per device.
+//!
+//! `cargo run --release -p trisolve-bench --bin fig5 [-- --quick]`
+
+use trisolve_bench::{experiments, report};
+use trisolve_gpu_sim::DeviceSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, n) = if quick { (256, 1024) } else { (1024, 1024) };
+    println!("Figure 5 reproduction: {m} systems x {n} equations, f32\n");
+
+    for dev in DeviceSpec::paper_devices() {
+        let pts = experiments::fig5_sweep(&dev, m, n);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.onchip_size.to_string(),
+                    format!("{:.3}", p.relative),
+                    report::ms(p.time_ms),
+                    p.thomas_switch.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            report::render_table(
+                dev.name(),
+                &["switch point (S3)", "relative perf", "ms", "re-tuned T4"],
+                &rows
+            )
+        );
+        let best = pts
+            .iter()
+            .max_by(|a, b| a.relative.total_cmp(&b.relative))
+            .unwrap();
+        println!("best switch point: {}\n", best.onchip_size);
+    }
+
+    println!("{}", report::compare_line("8800 GTX best S3", "256", "see above"));
+    println!("{}", report::compare_line("GTX 280 best S3", "512 (~256)", "see above"));
+    println!(
+        "{}",
+        report::compare_line("GTX 470 best S3", "512 (beats 1024)", "see above")
+    );
+}

@@ -1,0 +1,66 @@
+//! Per-launch profile of one solve — the debugging/inspection tool behind
+//! the calibration work. Prints every kernel launch with its simulated
+//! time, limiter and residency.
+//!
+//! `cargo run --release -p trisolve-bench --bin profile -- [m] [n]`
+
+use trisolve_autotune::{DynamicTuner, Tuner};
+use trisolve_bench::report;
+use trisolve_core::solve_batch_on_gpu;
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2 * 1024 * 1024);
+    let shape = WorkloadShape::new(m, n);
+    let batch = random_dominant::<f32>(shape, 2011).unwrap();
+
+    for device in DeviceSpec::paper_devices() {
+        let mut gpu: Gpu<f32> = Gpu::new(device.clone());
+        let mut tuner = DynamicTuner::new();
+        let cfg = tuner.tune_for(&mut gpu, shape);
+        let params = tuner.params_for(shape, gpu.spec().queryable(), 4);
+        let mut fresh: Gpu<f32> = Gpu::new(device.clone());
+        let out = solve_batch_on_gpu(&mut fresh, &batch, &params).unwrap();
+
+        println!(
+            "--- {} | {} | tuned S3={} T4={} P1={} {:?} ({} evals) ---",
+            device.name(),
+            out.plan.summary(),
+            cfg.onchip_size,
+            cfg.thomas_switch,
+            cfg.stage1_target_systems,
+            params.variant,
+            cfg.evaluations
+        );
+        let rows: Vec<Vec<String>> = out
+            .kernel_stats
+            .iter()
+            .map(|s| {
+                vec![
+                    s.label.clone(),
+                    s.grid_blocks.to_string(),
+                    s.block_threads.to_string(),
+                    format!("{}/{}", s.residency.blocks_per_sm, s.residency.warps_per_sm),
+                    format!("{:?}", s.limited_by),
+                    format!("{:.1}%", s.totals.coalescing_efficiency() * 100.0),
+                    report::ms(s.exec_time_s * 1e3),
+                    report::ms(s.overhead_s * 1e3),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            report::render_table(
+                &format!("total {:.3} ms", out.sim_time_ms()),
+                &["kernel", "grid", "thr", "res b/w", "limit", "coal", "exec ms", "ovh ms"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerate paper Table I: the GPU devices used in the tests and
+//! benchmarks, with their capability differences.
+//!
+//! `cargo run -p trisolve-bench --bin table1`
+
+use trisolve_bench::report;
+use trisolve_gpu_sim::DeviceSpec;
+
+fn main() {
+    let rows: Vec<Vec<String>> = DeviceSpec::paper_devices()
+        .iter()
+        .map(|d| {
+            let q = d.queryable();
+            vec![
+                q.name.clone(),
+                format!("{:.1} GB/s", d.hidden().mem_bandwidth_gbps),
+                format!("{} KB", q.shared_mem_per_sm_bytes / 1024),
+                q.num_processors.to_string(),
+                q.thread_procs_per_sm.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Table I: GPU devices (paper values, verbatim)",
+            &[
+                "Name",
+                "Global Memory Bandwidth",
+                "Shared Memory Size",
+                "Number of Processors",
+                "Thread Processors per Processor",
+            ],
+            &rows,
+        )
+    );
+    println!("Paper row 1: 8800 GTX   57.6 GB/s  16 KB  14  8");
+    println!("Paper row 2: GTX 280   141.7 GB/s  16 KB  30  8");
+    println!("Paper row 3: GTX 470   133.9 GB/s  48 KB  14  32");
+}

@@ -1,0 +1,67 @@
+//! Regenerate paper Table II: the queryable device properties the
+//! machine-query (static) tuner may use — and, for contrast, the hidden
+//! quantities it cannot see (which is why dynamic tuning wins).
+//!
+//! `cargo run -p trisolve-bench --bin table2`
+
+use trisolve_bench::report;
+use trisolve_gpu_sim::DeviceSpec;
+
+fn main() {
+    let descriptions: [(&str, &str); 6] = [
+        ("Global Mem", "Total amount of global memory available"),
+        (
+            "Processors",
+            "Total number of processors; each has n thread processors",
+        ),
+        ("Constant Memory", "Total amount of constant memory"),
+        (
+            "Shared Memory",
+            "Per-processor shared memory: limits concurrent systems and the max PCR-Thomas size",
+        ),
+        (
+            "Register Memory",
+            "Registers per processor: trades thread count against registers per thread",
+        ),
+        ("Grid Dimensions", "API limit on blocks per grid"),
+    ];
+    let rows: Vec<Vec<String>> = descriptions
+        .iter()
+        .map(|(k, v)| vec![k.to_string(), v.to_string()])
+        .collect();
+    println!(
+        "{}",
+        report::render_table("Table II: queryable CUDA device properties", &["Query Parameter", "Description"], &rows)
+    );
+
+    println!("Values per device (as returned by `DeviceSpec::queryable()`):\n");
+    let rows: Vec<Vec<String>> = DeviceSpec::paper_devices()
+        .iter()
+        .map(|d| {
+            let q = d.queryable();
+            vec![
+                q.name.clone(),
+                format!("{} MB", q.global_mem_bytes / (1024 * 1024)),
+                q.num_processors.to_string(),
+                format!("{} KB", q.constant_mem_bytes / 1024),
+                format!("{} KB", q.shared_mem_per_sm_bytes / 1024),
+                q.registers_per_sm.to_string(),
+                q.max_grid_blocks.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Queryable values",
+            &["Device", "Global", "SMs", "Const", "Shared", "Regs/SM", "Max grid"],
+            &rows
+        )
+    );
+
+    println!(
+        "NOT queryable (paper §IV-C): memory bandwidth / bus width, shared-memory bank count,\n\
+         per-bank bandwidth, latency constants — the simulator keeps these in `HiddenProps`,\n\
+         visible to its timing model but not to the tuners."
+    );
+}

@@ -1,0 +1,88 @@
+//! Numerical self-test: runs the full solver matrix — device × workload
+//! class × precision × tuner — and prints the worst relative residual for
+//! each cell. A release-gate style check that everything solves everything.
+//!
+//! `cargo run --release -p trisolve-bench --bin verify_numerics`
+
+use trisolve_autotune::{DefaultTuner, StaticTuner, Tuner};
+use trisolve_bench::report;
+use trisolve_core::kernels::GpuScalar;
+use trisolve_core::{solve_batch_on_gpu, SolverParams};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_tridiag::norms::batch_worst_relative_residual;
+use trisolve_tridiag::workloads::{self, WorkloadShape};
+use trisolve_tridiag::SystemBatch;
+
+fn residual<T: GpuScalar>(
+    device: &DeviceSpec,
+    batch: &SystemBatch<T>,
+    params: &SolverParams,
+) -> f64 {
+    let mut gpu: Gpu<T> = Gpu::new(device.clone());
+    match solve_batch_on_gpu(&mut gpu, batch, params) {
+        Ok(out) => batch_worst_relative_residual(batch, &out.x).unwrap_or(f64::INFINITY),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+fn main() {
+    let shape = WorkloadShape::new(16, 3000); // deliberately non-power-of-two
+    let classes: Vec<(&str, SystemBatch<f64>)> = vec![
+        ("random", workloads::random_dominant(shape, 1).unwrap()),
+        ("poisson", workloads::poisson_1d(shape, 1).unwrap()),
+        ("adi", workloads::adi_heat_lines(shape, 0.7).unwrap()),
+        ("spline", workloads::cubic_spline(shape, 1).unwrap()),
+        ("toeplitz", workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap()),
+    ];
+    let classes32: Vec<(&str, SystemBatch<f32>)> = vec![
+        ("random", workloads::random_dominant(shape, 1).unwrap()),
+        ("poisson", workloads::poisson_1d(shape, 1).unwrap()),
+        ("adi", workloads::adi_heat_lines(shape, 0.7).unwrap()),
+        ("spline", workloads::cubic_spline(shape, 1).unwrap()),
+        ("toeplitz", workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap()),
+    ];
+
+    let mut failures = 0usize;
+    for device in DeviceSpec::paper_devices() {
+        let q = device.queryable();
+        let mut rows = Vec::new();
+        for (name, b64) in &classes {
+            let b32 = &classes32.iter().find(|(n, _)| n == name).unwrap().1;
+            let mut cells = vec![name.to_string()];
+            for tuner_name in ["default", "static"] {
+                let (p32, p64) = match tuner_name {
+                    "default" => (
+                        DefaultTuner.params_for(shape, q, 4),
+                        DefaultTuner.params_for(shape, q, 8),
+                    ),
+                    _ => (
+                        StaticTuner.params_for(shape, q, 4),
+                        StaticTuner.params_for(shape, q, 8),
+                    ),
+                };
+                let r32 = residual(&device, b32, &p32);
+                let r64 = residual(&device, b64, &p64);
+                if r32 > 1e-3 || r64 > 1e-10 {
+                    failures += 1;
+                }
+                cells.push(format!("{r32:.1e}"));
+                cells.push(format!("{r64:.1e}"));
+            }
+            rows.push(cells);
+        }
+        println!(
+            "{}",
+            report::render_table(
+                &format!("{} — worst relative residuals (16x3000)", device.name()),
+                &["workload", "def f32", "def f64", "sta f32", "sta f64"],
+                &rows
+            )
+        );
+    }
+    if failures == 0 {
+        println!("ALL PASS: every device x workload x precision x tuner within tolerance");
+    } else {
+        println!("{failures} FAILURES — see table above");
+        std::process::exit(1);
+    }
+}

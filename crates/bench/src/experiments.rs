@@ -1,0 +1,308 @@
+//! One function per table/figure of the paper's evaluation (§V).
+//!
+//! All experiments run in **single precision** (the paper's primary
+//! precision) on the simulated devices of Table I. Times are simulated
+//! milliseconds; the shapes — orderings, crossovers, ratios — are the
+//! reproduction targets (see EXPERIMENTS.md).
+
+use trisolve_autotune::{DefaultTuner, DynamicTuner, StaticTuner, Tuner};
+use trisolve_core::kernels::GpuScalar;
+use trisolve_core::{solver, SolverParams};
+use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu};
+use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+use trisolve_tridiag::SystemBatch;
+
+/// Seed for every experiment workload (reproducibility).
+pub const EXPERIMENT_SEED: u64 = 2011;
+
+/// Measure one configuration on one device, returning simulated
+/// milliseconds (`+inf` if the configuration cannot run).
+pub fn solve_ms<T: GpuScalar>(
+    device: &DeviceSpec,
+    batch: &SystemBatch<T>,
+    params: &SolverParams,
+) -> f64 {
+    let mut gpu: Gpu<T> = Gpu::new(device.clone());
+    match solver::measure_solve_time(&mut gpu, batch, params) {
+        Ok(t) => t * 1e3,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: stage-2 -> stage-3 switch point sweep
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 5 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Candidate on-chip size (x-axis of Figure 5).
+    pub onchip_size: usize,
+    /// The Thomas switch re-tuned for this on-chip size (the paper re-tunes
+    /// it per candidate).
+    pub thomas_switch: usize,
+    /// Simulated milliseconds.
+    pub time_ms: f64,
+    /// Performance relative to the best point (1.0 = best), the figure's
+    /// y-axis.
+    pub relative: f64,
+}
+
+/// Sweep the stage-2→3 switch point on one device (Figure 5).
+///
+/// Workload: `m` systems of `n` equations (the paper uses a machine-filling
+/// batch of large systems). For every candidate on-chip size the Thomas
+/// switch is re-tuned and the better memory-layout variant is taken.
+pub fn fig5_sweep(device: &DeviceSpec, m: usize, n: usize) -> Vec<Fig5Point> {
+    let shape = WorkloadShape::new(m, n);
+    let batch: SystemBatch<f32> = random_dominant(shape, EXPERIMENT_SEED).unwrap();
+    let max_onchip = SolverParams::max_onchip_size(device.queryable(), 4);
+
+    let mut points = Vec::new();
+    for s3 in [128usize, 256, 512, 1024] {
+        if s3 > max_onchip || s3 > n {
+            continue;
+        }
+        let (t4, ms) = best_t4_and_time(device, &batch, s3);
+        points.push(Fig5Point {
+            onchip_size: s3,
+            thomas_switch: t4,
+            time_ms: ms,
+            relative: 0.0,
+        });
+    }
+    let best = points
+        .iter()
+        .map(|p| p.time_ms)
+        .fold(f64::INFINITY, f64::min);
+    for p in &mut points {
+        p.relative = best / p.time_ms;
+    }
+    points
+}
+
+/// For a fixed on-chip size, find the best (Thomas switch, variant) and
+/// return it with the best time.
+fn best_t4_and_time(device: &DeviceSpec, batch: &SystemBatch<f32>, s3: usize) -> (usize, f64) {
+    use trisolve_core::BaseVariant;
+    let mut best = (32usize, f64::INFINITY);
+    let mut t4 = 16usize;
+    while t4 <= s3 {
+        for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+            let p = SolverParams {
+                stage1_target_systems: 16,
+                onchip_size: s3,
+                thomas_switch: t4,
+                variant,
+            };
+            let ms = solve_ms(device, batch, &p);
+            if ms < best.1 {
+                best = (t4, ms);
+            }
+        }
+        t4 *= 2;
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: stage-3 -> stage-4 switch point sweep
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 6 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Point {
+    /// Subsystems handed to the Thomas phase (x-axis).
+    pub thomas_switch: usize,
+    /// Simulated milliseconds.
+    pub time_ms: f64,
+    /// Performance relative to the best point (y-axis).
+    pub relative: f64,
+}
+
+/// Sweep the PCR→Thomas switch inside the base kernel (Figure 6).
+///
+/// Workload: a machine-filling batch of systems exactly the device's
+/// on-chip size, so only the base kernel runs.
+pub fn fig6_sweep(device: &DeviceSpec, systems_per_sm: usize) -> Vec<Fig6Point> {
+    let n = SolverParams::max_onchip_size(device.queryable(), 4);
+    let m = systems_per_sm * device.queryable().num_processors;
+    let shape = WorkloadShape::new(m, n);
+    let batch: SystemBatch<f32> = random_dominant(shape, EXPERIMENT_SEED).unwrap();
+
+    let mut points = Vec::new();
+    let mut t4 = 16usize;
+    while t4 <= 512.min(n) {
+        let p = SolverParams {
+            stage1_target_systems: 16,
+            onchip_size: n,
+            thomas_switch: t4,
+            variant: trisolve_core::BaseVariant::Strided,
+        };
+        points.push(Fig6Point {
+            thomas_switch: t4,
+            time_ms: solve_ms(device, &batch, &p),
+            relative: 0.0,
+        });
+        t4 *= 2;
+    }
+    let best = points
+        .iter()
+        .map(|p| p.time_ms)
+        .fold(f64::INFINITY, f64::min);
+    for p in &mut points {
+        p.relative = best / p.time_ms;
+    }
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: untuned vs static vs dynamic over the workload grid
+// ---------------------------------------------------------------------------
+
+/// One cell of the Figure 7 grid.
+#[derive(Debug, Clone)]
+pub struct Fig7Cell {
+    /// Device name.
+    pub device: String,
+    /// Workload shape.
+    pub shape: WorkloadShape,
+    /// Untuned (default parameters) time, ms — the numbers printed above
+    /// the paper's bars.
+    pub untuned_ms: f64,
+    /// Statically tuned time, ms.
+    pub static_ms: f64,
+    /// Dynamically tuned time, ms.
+    pub dynamic_ms: f64,
+}
+
+/// Aggregates over the Figure 7 grid (the §V headline numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Summary {
+    /// Mean runtime reduction of static vs untuned (paper: ~17 %).
+    pub static_mean_improvement: f64,
+    /// Mean runtime reduction of dynamic vs untuned (paper: ~32 %).
+    pub dynamic_mean_improvement: f64,
+    /// Maximum dynamic-vs-untuned speedup (paper: up to 5×).
+    pub dynamic_max_speedup: f64,
+    /// Maximum static-vs-untuned runtime reduction (paper: up to 60 %).
+    pub static_max_improvement: f64,
+}
+
+/// Run the Figure 7 comparison for one device over a workload grid.
+///
+/// The dynamic tuner runs once per workload class ("at runtime", §IV-C/D)
+/// and its result is reused; tuning cost is amortised exactly as the
+/// paper's cached tuning results are, so only the tuned solve is timed.
+pub fn fig7_device(device: &DeviceSpec, shapes: &[WorkloadShape]) -> Vec<Fig7Cell> {
+    let q = device.queryable().clone();
+    shapes
+        .iter()
+        .map(|&shape| {
+            let batch: SystemBatch<f32> = random_dominant(shape, EXPERIMENT_SEED).unwrap();
+            let mut dynamic = DynamicTuner::new();
+            {
+                let mut gpu: Gpu<f32> = Gpu::new(device.clone());
+                dynamic.tune_for(&mut gpu, shape);
+            }
+            let run = |tuner: &dyn Tuner| {
+                let params = tuner.params_for(shape, &q, 4);
+                let params = trisolve_autotune::tuners::clamp_to_device(params, &q, 4);
+                solve_ms(device, &batch, &params)
+            };
+            Fig7Cell {
+                device: q.name.clone(),
+                shape,
+                untuned_ms: run(&DefaultTuner),
+                static_ms: run(&StaticTuner),
+                dynamic_ms: run(&dynamic),
+            }
+        })
+        .collect()
+}
+
+/// Compute the §V headline aggregates from Figure 7 cells.
+pub fn fig7_summary(cells: &[Fig7Cell]) -> Fig7Summary {
+    let mut s_impr = Vec::new();
+    let mut d_impr = Vec::new();
+    let mut d_speedup: f64 = 0.0;
+    for c in cells {
+        s_impr.push(1.0 - c.static_ms / c.untuned_ms);
+        d_impr.push(1.0 - c.dynamic_ms / c.untuned_ms);
+        d_speedup = d_speedup.max(c.untuned_ms / c.dynamic_ms);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Fig7Summary {
+        static_mean_improvement: mean(&s_impr),
+        dynamic_mean_improvement: mean(&d_impr),
+        dynamic_max_speedup: d_speedup,
+        static_max_improvement: s_impr.iter().cloned().fold(f64::MIN, f64::max),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: GPU (GTX 470, dynamically tuned) vs CPU (MKL model)
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 8 comparison.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Workload shape.
+    pub shape: WorkloadShape,
+    /// Simulated GPU milliseconds (GTX 470, dynamically tuned).
+    pub gpu_ms: f64,
+    /// Simulated CPU milliseconds (Core i5 MKL model).
+    pub cpu_ms: f64,
+    /// CPU threads used (2 for batches, 1 for a single system).
+    pub cpu_threads: usize,
+    /// `cpu_ms / gpu_ms` (the paper's 11×/7×/6×/0.7× labels).
+    pub speedup: f64,
+}
+
+/// Run the Figure 8 comparison over a workload grid.
+pub fn fig8_comparison(shapes: &[WorkloadShape]) -> Vec<Fig8Row> {
+    let device = DeviceSpec::gtx_470();
+    let cpu = CpuSpec::core_i5_dual_3_4ghz();
+    let q = device.queryable().clone();
+
+    shapes
+        .iter()
+        .map(|&shape| {
+            let batch: SystemBatch<f32> = random_dominant(shape, EXPERIMENT_SEED).unwrap();
+            let mut dynamic = DynamicTuner::new();
+            {
+                let mut gpu: Gpu<f32> = Gpu::new(device.clone());
+                dynamic.tune_for(&mut gpu, shape);
+            }
+            let params = dynamic.params_for(shape, &q, 4);
+            let gpu_ms = solve_ms(&device, &batch, &params);
+            let (cpu_s, threads) = cpu.time_batch_lu_auto(shape.num_systems, shape.system_size);
+            let cpu_ms = cpu_s * 1e3;
+            Fig8Row {
+                shape,
+                gpu_ms,
+                cpu_ms,
+                cpu_threads: threads,
+                speedup: cpu_ms / gpu_ms,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+
+/// The paper's Figure 7/8 workload grid, optionally scaled down by `shrink`
+/// (a power of two) for fast runs: each dimension of every workload is
+/// divided by `shrink`.
+pub fn paper_grid(shrink: usize) -> Vec<WorkloadShape> {
+    assert!(shrink >= 1);
+    WorkloadShape::paper_grid()
+        .into_iter()
+        .map(|s| {
+            WorkloadShape::new(
+                (s.num_systems / shrink).max(1),
+                (s.system_size / shrink).max(512),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,100 @@
+//! Plain-text report rendering: aligned tables with paper-vs-measured
+//! columns, shared by every `fig*`/`table*` binary.
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |out: &mut String, cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", s.trim_end());
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".into()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio like the paper's speedup labels (`11X`, `0.7X`).
+pub fn speedup(v: f64) -> String {
+    if v >= 2.0 {
+        format!("{v:.0}X")
+    } else {
+        format!("{v:.1}X")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+/// A paper-vs-measured comparison line for EXPERIMENTS.md-style output.
+pub fn compare_line(metric: &str, paper: &str, measured: &str) -> String {
+    format!("{metric:<44} paper: {paper:<12} measured: {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long-header"));
+        // Every data line starts aligned.
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(1.234), "1.23");
+        assert_eq!(ms(f64::INFINITY), "n/a");
+        assert_eq!(speedup(11.2), "11X");
+        assert_eq!(speedup(0.71), "0.7X");
+        assert_eq!(pct(0.17), "17%");
+    }
+}

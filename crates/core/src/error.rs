@@ -1,0 +1,89 @@
+//! Error type for the multi-stage solver.
+
+use std::fmt;
+use trisolve_gpu_sim::SimError;
+use trisolve_tridiag::SolverError;
+
+/// Errors from planning or executing a multi-stage solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid or device-incompatible solver parameters.
+    BadParams {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The tridiagonal algebra failed (zero pivot, bad shapes, …).
+    Algebra(SolverError),
+    /// The simulated device rejected a launch or allocation.
+    Device(SimError),
+    /// A kernel produced non-finite values (numerical breakdown inside the
+    /// pivot-free GPU algorithm; use the CPU LU solver for such systems).
+    NumericalBreakdown {
+        /// Which kernel flagged the breakdown.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadParams { detail } => write!(f, "bad solver parameters: {detail}"),
+            CoreError::Algebra(e) => write!(f, "algebra error: {e}"),
+            CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::NumericalBreakdown { kernel } => {
+                write!(f, "numerical breakdown in kernel `{kernel}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Algebra(e) => Some(e),
+            CoreError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = SolverError::EmptySystem.into();
+        assert!(matches!(e, CoreError::Algebra(_)));
+        assert!(e.to_string().contains("algebra"));
+
+        let e: CoreError = SimError::InvalidBuffer { id: 1 }.into();
+        assert!(matches!(e, CoreError::Device(_)));
+
+        let e = CoreError::NumericalBreakdown {
+            kernel: "base".into(),
+        };
+        assert!(e.to_string().contains("base"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: CoreError = SolverError::EmptySystem.into();
+        assert!(e.source().is_some());
+        let e = CoreError::BadParams { detail: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,334 @@
+//! Stage 3 + 4 — the hybrid PCR-Thomas base kernel (paper §III-A).
+//!
+//! One block per subsystem: the block gathers its chain into shared memory,
+//! PCR-splits it in shared memory until `thomas_chains` independent serial
+//! chains exist (stage 3), then one thread per chain finishes with the
+//! work-optimal Thomas algorithm (stage 4).
+//!
+//! Two memory-layout variants handle chains that are strided in their parent
+//! system:
+//!
+//! * [`BaseVariant::Strided`] gathers the chain directly at its stride —
+//!   uncoalesced transactions (bandwidth waste capped at the minimum
+//!   transaction size, plus issue serialisation), but the entire solve then
+//!   runs from shared memory.
+//! * [`BaseVariant::Coalesced`] streams the contiguous tiles covering the
+//!   chain — perfectly coalesced but moving `stride`× the payload.
+//!
+//! Which wins depends on the stride and the device; the paper resolves the
+//! choice empirically with the self-tuner, and so does `trisolve-autotune`.
+
+use crate::error::CoreError;
+use crate::kernels::{elem_bytes, CoeffBuffers, GpuScalar};
+use crate::params::{BaseVariant, BASE_KERNEL_REGS_PER_THREAD};
+use crate::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+use trisolve_gpu_sim::{BufferId, Gpu, KernelStats, LaunchConfig, OutMode};
+use trisolve_tridiag::system::ChainView;
+use trisolve_tridiag::thomas::{self, ChainScratch};
+use trisolve_tridiag::pcr;
+
+/// Shared-memory word accesses per equation per on-chip PCR step.
+pub const PCR_SMEM_PER_EQ: usize = 16;
+/// Thread-operations per equation per on-chip PCR step.
+pub const PCR_OPS_PER_EQ: usize = 12;
+/// Thread-operations per equation of the serial Thomas phase.
+pub const THOMAS_OPS_PER_EQ: usize = 8;
+/// Shared-memory word accesses per equation of the Thomas phase.
+pub const THOMAS_SMEM_PER_EQ: usize = 5;
+
+/// Launch the base kernel over every chain of a batch.
+///
+/// * `m` parent systems of `n` (power-of-two) equations live in `src`,
+///   already split into `stride` chains each of `chain_len` equations.
+/// * Each block solves one chain on-chip, switching from PCR to Thomas at
+///   `thomas_chains` subsystems, and scatters its solution into `x`.
+#[allow(clippy::too_many_arguments)]
+pub fn base_solve<T: GpuScalar>(
+    gpu: &mut Gpu<T>,
+    src: CoeffBuffers,
+    x: BufferId,
+    m: usize,
+    n: usize,
+    chain_len: usize,
+    stride: usize,
+    thomas_chains: usize,
+    variant: BaseVariant,
+) -> Result<KernelStats> {
+    debug_assert!(n.is_power_of_two());
+    debug_assert!(chain_len.is_power_of_two());
+    debug_assert_eq!(chain_len * stride, n);
+    let chains = m * stride;
+    let t4 = thomas_chains.min(chain_len);
+    debug_assert!(t4.is_power_of_two());
+    let pcr_steps = t4.trailing_zeros();
+
+    let cfg = LaunchConfig::new(
+        format!("base[{chain_len}@{stride},t4={t4},{variant:?}]"),
+        chains,
+        chain_len,
+    )
+    .with_regs(BASE_KERNEL_REGS_PER_THREAD)
+    .with_shared_mem(4 * chain_len * elem_bytes::<T>());
+
+    // Shared-memory accesses serialise per 32-bit word on the banked
+    // register-file-like shared memory: 64-bit elements cost two-way
+    // conflicts (the double-precision penalty of §III-A).
+    let word_factor = f64::max(elem_bytes::<T>() as f64 / 4.0, 1.0);
+
+    let failed = AtomicBool::new(false);
+    let stats = gpu.launch(&cfg, &src, &[(x, OutMode::Scattered)], |ctx, io| {
+        let bid = ctx.block_id as usize;
+        let parent = bid / stride;
+        let r = bid % stride;
+        let chain = ChainView {
+            offset: parent * n + r,
+            stride,
+            len: chain_len,
+        };
+
+        // ---- Load phase (stage-3 entry) -------------------------------
+        let mut cur = (
+            chain.gather(io.inputs[0]),
+            chain.gather(io.inputs[1]),
+            chain.gather(io.inputs[2]),
+            chain.gather(io.inputs[3]),
+        );
+        match variant {
+            BaseVariant::Strided => {
+                ctx.gmem_read(4 * chain_len, stride);
+            }
+            BaseVariant::Coalesced => {
+                ctx.gmem_read_overfetch(4 * chain_len, stride as f64);
+            }
+        }
+        ctx.sync();
+
+        // ---- Stage 3: PCR in shared memory ----------------------------
+        let mut next = (
+            vec![T::ZERO; chain_len],
+            vec![T::ZERO; chain_len],
+            vec![T::ZERO; chain_len],
+            vec![T::ZERO; chain_len],
+        );
+        let mut s = 1usize;
+        for _ in 0..pcr_steps {
+            pcr::pcr_step(
+                s, &cur.0, &cur.1, &cur.2, &cur.3, &mut next.0, &mut next.1, &mut next.2,
+                &mut next.3,
+            );
+            std::mem::swap(&mut cur, &mut next);
+            s *= 2;
+            ctx.smem_conflict(PCR_SMEM_PER_EQ * chain_len, word_factor);
+            ctx.ops(PCR_OPS_PER_EQ * chain_len);
+            ctx.sync();
+            ctx.sync();
+        }
+
+        // ---- Stage 4: Thomas, one thread per chain ---------------------
+        let mut lx = vec![T::ZERO; chain_len];
+        let mut scratch = ChainScratch::new();
+        for sub in ChainView::chains_of(0, chain_len, t4) {
+            if thomas::solve_thomas_chain(
+                &sub, &cur.0, &cur.1, &cur.2, &cur.3, &mut lx, &mut scratch,
+            )
+            .is_err()
+            {
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+        ctx.serial_phase(chain_len / t4, THOMAS_OPS_PER_EQ, t4);
+        ctx.smem_conflict(THOMAS_SMEM_PER_EQ * chain_len, word_factor);
+        ctx.sync();
+
+        // ---- Store phase ----------------------------------------------
+        for (j, &v) in lx.iter().enumerate() {
+            if !v.is_finite() {
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
+            io.scattered[0].set(chain.index(j), v);
+        }
+        ctx.gmem_write(chain_len, stride);
+    })?;
+
+    if failed.load(Ordering::Relaxed) {
+        return Err(CoreError::NumericalBreakdown {
+            kernel: cfg.label.clone(),
+        });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_gpu_sim::DeviceSpec;
+    use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
+    use trisolve_tridiag::norms::batch_worst_relative_residual;
+    use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
+    use trisolve_tridiag::SystemBatch;
+
+    fn coeffs(gpu: &mut Gpu<f64>, batch: &SystemBatch<f64>) -> CoeffBuffers {
+        [
+            gpu.alloc_from(&batch.a).unwrap(),
+            gpu.alloc_from(&batch.b).unwrap(),
+            gpu.alloc_from(&batch.c).unwrap(),
+            gpu.alloc_from(&batch.d).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn solves_contiguous_small_systems_exactly() {
+        let shape = WorkloadShape::new(20, 256);
+        let batch = random_dominant::<f64>(shape, 21).unwrap();
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let src = coeffs(&mut gpu, &batch);
+        let x = gpu.alloc(shape.total_equations()).unwrap();
+        base_solve(&mut gpu, src, x, 20, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
+        let got = gpu.download(x).unwrap();
+        let expect = solve_batch_sequential(&batch, BatchAlgorithm::Thomas).unwrap();
+        for (u, v) in got.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-8);
+        }
+        assert!(batch_worst_relative_residual(&batch, &got).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solves_strided_chains_of_presplit_systems() {
+        // Split systems on the CPU (2 PCR steps -> 4 chains of 256), upload
+        // the transformed coefficients, and let the base kernel finish.
+        let shape = WorkloadShape::new(3, 1024);
+        let batch = random_dominant::<f64>(shape, 33).unwrap();
+        let total = shape.total_equations();
+        let (mut a, mut b, mut c, mut d) = (
+            vec![0.0; total],
+            vec![0.0; total],
+            vec![0.0; total],
+            vec![0.0; total],
+        );
+        for s in 0..3 {
+            let sys = batch.system(s).unwrap();
+            let split = pcr::pcr_split(&sys, 2).unwrap();
+            a[s * 1024..(s + 1) * 1024].copy_from_slice(&split.a);
+            b[s * 1024..(s + 1) * 1024].copy_from_slice(&split.b);
+            c[s * 1024..(s + 1) * 1024].copy_from_slice(&split.c);
+            d[s * 1024..(s + 1) * 1024].copy_from_slice(&split.d);
+        }
+        for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+            let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            let src = [
+                gpu.alloc_from(&a).unwrap(),
+                gpu.alloc_from(&b).unwrap(),
+                gpu.alloc_from(&c).unwrap(),
+                gpu.alloc_from(&d).unwrap(),
+            ];
+            let x = gpu.alloc(total).unwrap();
+            base_solve(&mut gpu, src, x, 3, 1024, 256, 4, 32, variant).unwrap();
+            let got = gpu.download(x).unwrap();
+            assert!(
+                batch_worst_relative_residual(&batch, &got).unwrap() < 1e-10,
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_price_the_load_differently() {
+        let shape = WorkloadShape::new(2, 4096);
+        let batch = random_dominant::<f64>(shape, 4).unwrap();
+        let run = |variant: BaseVariant| {
+            let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            let src = coeffs(&mut gpu, &batch);
+            let x = gpu.alloc(shape.total_equations()).unwrap();
+            base_solve(&mut gpu, src, x, 2, 4096, 512, 8, 64, variant).unwrap()
+        };
+        let s = run(BaseVariant::Strided);
+        let c = run(BaseVariant::Coalesced);
+        // Strided: capped transaction waste but serialised issue slots.
+        // Coalesced: stride x over-fetch but coalesced slots.
+        assert!(s.totals.gmem_txn_bytes < c.totals.gmem_txn_bytes);
+        assert!(s.totals.gmem_warp_txns > c.totals.gmem_warp_txns);
+        // Payload identical.
+        assert_eq!(s.totals.gmem_read_bytes, c.totals.gmem_read_bytes);
+    }
+
+    #[test]
+    fn f32_solve_keeps_single_precision_accuracy() {
+        let shape = WorkloadShape::new(10, 512);
+        let batch = random_dominant::<f32>(shape, 6).unwrap();
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+        let src = [
+            gpu.alloc_from(&batch.a).unwrap(),
+            gpu.alloc_from(&batch.b).unwrap(),
+            gpu.alloc_from(&batch.c).unwrap(),
+            gpu.alloc_from(&batch.d).unwrap(),
+        ];
+        let x = gpu.alloc(shape.total_equations()).unwrap();
+        base_solve(&mut gpu, src, x, 10, 512, 512, 1, 64, BaseVariant::Strided).unwrap();
+        let got = gpu.download(x).unwrap();
+        assert!(batch_worst_relative_residual(&batch, &got).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn f64_pays_sharedmem_conflicts() {
+        let shape = WorkloadShape::new(4, 256);
+        let b32 = random_dominant::<f32>(shape, 1).unwrap();
+        let b64 = random_dominant::<f64>(shape, 1).unwrap();
+
+        let mut g32: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+        let src = [
+            g32.alloc_from(&b32.a).unwrap(),
+            g32.alloc_from(&b32.b).unwrap(),
+            g32.alloc_from(&b32.c).unwrap(),
+            g32.alloc_from(&b32.d).unwrap(),
+        ];
+        let x = g32.alloc(shape.total_equations()).unwrap();
+        let s32 =
+            base_solve(&mut g32, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
+
+        let mut g64: Gpu<f64> = Gpu::new(DeviceSpec::gtx_280());
+        let src = coeffs(&mut g64, &b64);
+        let x = g64.alloc(shape.total_equations()).unwrap();
+        let s64 =
+            base_solve(&mut g64, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
+
+        assert_eq!(s32.totals.smem_conflict_accesses, 0.0);
+        assert!(s64.totals.smem_conflict_accesses > 0.0);
+    }
+
+    #[test]
+    fn numerical_breakdown_reported_not_propagated_as_nan() {
+        // A singular system (zero diagonal everywhere) must produce an error.
+        let n = 64;
+        let mut a = vec![1.0f64; n];
+        let b = vec![0.0f64; n];
+        let mut c = vec![1.0f64; n];
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let d = vec![1.0f64; n];
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let src = [
+            gpu.alloc_from(&a).unwrap(),
+            gpu.alloc_from(&b).unwrap(),
+            gpu.alloc_from(&c).unwrap(),
+            gpu.alloc_from(&d).unwrap(),
+        ];
+        let x = gpu.alloc(n).unwrap();
+        let err = base_solve(&mut gpu, src, x, 1, 64, 64, 1, 16, BaseVariant::Strided);
+        assert!(matches!(err, Err(CoreError::NumericalBreakdown { .. })));
+    }
+
+    #[test]
+    fn rejects_chains_exceeding_block_limits() {
+        // chain_len 2048 needs 2048 threads: more than any device allows.
+        let shape = WorkloadShape::new(1, 2048);
+        let batch = random_dominant::<f64>(shape, 2).unwrap();
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let src = coeffs(&mut gpu, &batch);
+        let x = gpu.alloc(2048).unwrap();
+        let err = base_solve(&mut gpu, src, x, 1, 2048, 2048, 1, 64, BaseVariant::Strided);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! The three GPU kernels of the multi-stage solver, written against the
+//! simulator's launch API.
+//!
+//! Every kernel both *computes* (real arithmetic on real buffers, verified
+//! against the CPU reference algorithms) and *meters* its memory traffic,
+//! arithmetic and synchronisation so the simulator can time it. The metering
+//! calls are the performance model of the real CUDA kernels; the analytic
+//! expectations they encode are checked by the tests in this module tree.
+
+pub mod base;
+pub mod baselines;
+pub mod repack;
+pub mod stage1;
+pub mod stage2;
+
+pub use base::base_solve;
+pub use baselines::{baseline_solve, BaselineAlgo};
+pub use repack::{repack_chains, unpack_solution};
+pub use stage1::stage1_step;
+pub use stage2::stage2_split;
+
+use trisolve_gpu_sim::Element;
+use trisolve_tridiag::Scalar;
+
+/// Scalars usable on the simulated GPU (`f32`, `f64`).
+pub trait GpuScalar: Scalar + Element {}
+impl<T: Scalar + Element> GpuScalar for T {}
+
+/// Element width in bytes of a GPU scalar (disambiguates the `BYTES`
+/// constants that both `Scalar` and `Element` define — they agree for every
+/// implementor).
+pub fn elem_bytes<T: GpuScalar>() -> usize {
+    <T as Element>::BYTES
+}
+
+/// The four coefficient buffers `(a, b, c, d)` as one handle bundle.
+pub type CoeffBuffers = [trisolve_gpu_sim::BufferId; 4];

@@ -1,0 +1,248 @@
+//! Solver parameters: the paper's three switch points plus the base-kernel
+//! memory-layout variant. This is the tuning space.
+
+use crate::error::CoreError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use trisolve_gpu_sim::QueryableProps;
+
+/// Registers per thread used by the hybrid base kernel. The paper's §V text
+/// ties the maximum on-chip system size to register pressure (256/512/1024
+/// on the 8800/280/470); this constant reproduces those caps against each
+/// device's register file.
+pub const BASE_KERNEL_REGS_PER_THREAD: usize = 24;
+
+/// Registers per thread used by the splitting kernels (stages 1 and 2).
+pub const SPLIT_KERNEL_REGS_PER_THREAD: usize = 16;
+
+/// Threads per block used by the splitting kernels.
+pub const SPLIT_KERNEL_THREADS: usize = 256;
+
+/// Which base-kernel memory layout to use when subsystems are strided
+/// chains of a larger parent system (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseVariant {
+    /// Gather the chain directly at its stride: the load is uncoalesced
+    /// (transaction waste + issue serialisation), but the whole solve then
+    /// runs from shared memory.
+    Strided,
+    /// Load contiguous tiles covering the chain (perfectly coalesced but
+    /// over-fetching `stride`× the payload), staging through shared memory.
+    Coalesced,
+}
+
+/// The multi-stage solver's tunable parameters.
+///
+/// | Field | Paper name | Meaning |
+/// |---|---|---|
+/// | `stage1_target_systems` | stage-1→2 switch | keep cooperative-splitting until this many independent systems exist |
+/// | `onchip_size` | stage-2→3 switch | largest subsystem solved in shared memory |
+/// | `thomas_switch` | stage-3→4 switch | number of serial chains handed to the Thomas phase |
+/// | `variant` | base-kernel choice | strided vs. coalesced chain loading |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SolverParams {
+    /// Stage-1→2 switch point: stage 1 keeps splitting until the workload
+    /// has at least this many independent systems.
+    pub stage1_target_systems: usize,
+    /// Stage-2→3 switch point: subsystems of at most this many equations are
+    /// solved on-chip. Must be a power of two.
+    pub onchip_size: usize,
+    /// Stage-3→4 switch point: the on-chip PCR splits each subsystem into
+    /// this many serial chains before switching to Thomas. Must be a power
+    /// of two (clamped to the subsystem size at plan time).
+    pub thomas_switch: usize,
+    /// Base-kernel memory-layout variant.
+    pub variant: BaseVariant,
+}
+
+impl SolverParams {
+    /// The paper's machine-oblivious **default** parameters (§IV-B): an
+    /// on-chip size of 256 ("the weakest architecture is only able to fit
+    /// 256 elements at a time"), sixteen systems out of stage 1, and a
+    /// warp-sized Thomas switch — values that must merely *work* everywhere.
+    pub fn default_untuned() -> Self {
+        Self {
+            stage1_target_systems: 16,
+            onchip_size: 256,
+            thomas_switch: 32,
+            variant: BaseVariant::Strided,
+        }
+    }
+
+    /// Largest power-of-two subsystem size the base kernel can solve on-chip
+    /// for a device, given the element width — limited by shared memory
+    /// (four coefficient arrays), the register file and the block-size cap.
+    ///
+    /// This is a *machine-query* computation (it sees only
+    /// [`QueryableProps`]) and is the static tuner's stage-2→3 guess.
+    pub fn max_onchip_size(q: &QueryableProps, elem_bytes: usize) -> usize {
+        let by_shmem = q.shared_mem_per_sm_bytes / (4 * elem_bytes);
+        let by_regs = q.registers_per_sm / BASE_KERNEL_REGS_PER_THREAD;
+        let by_threads = q.max_threads_per_block;
+        let cap = by_shmem.min(by_regs).min(by_threads).max(1);
+        prev_power_of_two(cap)
+    }
+
+    /// Validate against a device (and element width), so that every launch
+    /// the plan will make is admissible.
+    pub fn validate(&self, q: &QueryableProps, elem_bytes: usize) -> Result<()> {
+        if !self.onchip_size.is_power_of_two() {
+            return Err(CoreError::BadParams {
+                detail: format!("onchip_size {} must be a power of two", self.onchip_size),
+            });
+        }
+        if !self.thomas_switch.is_power_of_two() {
+            return Err(CoreError::BadParams {
+                detail: format!(
+                    "thomas_switch {} must be a power of two",
+                    self.thomas_switch
+                ),
+            });
+        }
+        if self.thomas_switch > self.onchip_size {
+            return Err(CoreError::BadParams {
+                detail: format!(
+                    "thomas_switch {} exceeds onchip_size {}",
+                    self.thomas_switch, self.onchip_size
+                ),
+            });
+        }
+        if self.stage1_target_systems == 0 {
+            return Err(CoreError::BadParams {
+                detail: "stage1_target_systems must be >= 1".into(),
+            });
+        }
+        let max = Self::max_onchip_size(q, elem_bytes);
+        if self.onchip_size > max {
+            return Err(CoreError::BadParams {
+                detail: format!(
+                    "onchip_size {} exceeds device capacity {} on {} ({}‑byte elements)",
+                    self.onchip_size, max, q.name, elem_bytes
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Largest power of two `<= n` (`n >= 1`).
+pub fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let mut p = 1usize;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn default_params_valid_on_all_paper_devices_f32() {
+        let p = SolverParams::default_untuned();
+        for d in DeviceSpec::paper_devices() {
+            p.validate(d.queryable(), 4)
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        }
+    }
+
+    #[test]
+    fn max_onchip_size_reproduces_paper_caps() {
+        // §V: 256 / 512 / 1024 for the 8800 / 280 / 470 (f32).
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::geforce_8800_gtx().queryable(), 4),
+            256
+        );
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::gtx_280().queryable(), 4),
+            512
+        );
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::gtx_470().queryable(), 4),
+            1024
+        );
+    }
+
+    #[test]
+    fn f64_halves_the_shared_memory_cap() {
+        // With 8-byte elements the 16 KB devices can only fit 512 elements
+        // by shared memory; registers cap the 8800 at 256 first.
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::geforce_8800_gtx().queryable(), 8),
+            256
+        );
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::gtx_280().queryable(), 8),
+            512
+        );
+        assert_eq!(
+            SolverParams::max_onchip_size(DeviceSpec::gtx_470().queryable(), 8),
+            1024
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let q = DeviceSpec::gtx_470();
+        let q = q.queryable();
+        let base = SolverParams::default_untuned();
+
+        let p = SolverParams {
+            onchip_size: 300,
+            ..base
+        };
+        assert!(p.validate(q, 4).is_err());
+
+        let p = SolverParams {
+            thomas_switch: 48,
+            ..base
+        };
+        assert!(p.validate(q, 4).is_err());
+
+        let p = SolverParams {
+            thomas_switch: 512,
+            onchip_size: 256,
+            ..base
+        };
+        assert!(p.validate(q, 4).is_err());
+
+        let p = SolverParams {
+            stage1_target_systems: 0,
+            ..base
+        };
+        assert!(p.validate(q, 4).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_oversized_onchip() {
+        let d = DeviceSpec::geforce_8800_gtx();
+        let p = SolverParams {
+            onchip_size: 512,
+            ..SolverParams::default_untuned()
+        };
+        assert!(matches!(
+            p.validate(d.queryable(), 4),
+            Err(CoreError::BadParams { .. })
+        ));
+    }
+
+    #[test]
+    fn prev_power_of_two_values() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(1000), 512);
+        assert_eq!(prev_power_of_two(1024), 1024);
+    }
+
+    #[test]
+    fn params_serialize_round_trip() {
+        let p = SolverParams::default_untuned();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: SolverParams = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,421 @@
+//! The Figure 1 decision workflow: given a workload `(m, n)`, a device and a
+//! parameter set, produce the executable sequence of stage invocations.
+
+use crate::error::CoreError;
+use crate::params::{BaseVariant, SolverParams};
+use crate::Result;
+use serde::Serialize;
+use trisolve_gpu_sim::QueryableProps;
+use trisolve_tridiag::workloads::WorkloadShape;
+
+/// One stage invocation in a solve plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StageOp {
+    /// One cooperative splitting launch: a single PCR step at the given
+    /// parent stride, applied to every equation by the whole machine.
+    /// `systems_now` independent subsystems exist *before* this step.
+    Stage1Split {
+        /// Parent stride of this PCR step (`2^step`).
+        stride: usize,
+        /// Independent subsystems before the step.
+        systems_now: usize,
+    },
+    /// One independent-splitting launch: each block owns one chain and
+    /// applies `steps` PCR steps with block-local synchronisation.
+    Stage2Split {
+        /// Number of independent chains (= blocks).
+        chains: usize,
+        /// Parent stride of each chain at entry.
+        stride_in: usize,
+        /// PCR steps to apply inside the launch.
+        steps: u32,
+    },
+    /// The on-chip base kernel: one block per chain, PCR in shared memory to
+    /// `thomas_chains` serial chains, then Thomas.
+    BaseSolve {
+        /// Number of chains (= blocks).
+        chains: usize,
+        /// Chain length (equations per block; the *stage-3 system size*).
+        chain_len: usize,
+        /// Parent stride of each chain.
+        stride: usize,
+        /// Serial chains per block handed to the Thomas phase (the
+        /// stage-3→4 switch after clamping to the chain length).
+        thomas_chains: usize,
+        /// Memory-layout variant.
+        variant: BaseVariant,
+    },
+}
+
+/// An executable multi-stage solve plan.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolvePlan {
+    /// The workload this plan solves.
+    pub shape: WorkloadShape,
+    /// System size after padding to a power of two.
+    pub padded_size: usize,
+    /// Parameters the plan was built from.
+    pub params: SolverParams,
+    /// Number of stage-1 launches.
+    pub stage1_steps: u32,
+    /// Number of PCR steps performed by the single stage-2 launch (0 = no
+    /// stage-2 launch).
+    pub stage2_steps: u32,
+    /// Final on-chip subsystem length.
+    pub chain_len: usize,
+    /// Total split factor (`padded_size / chain_len`).
+    pub split_factor: usize,
+    /// The ordered stage invocations.
+    pub ops: Vec<StageOp>,
+}
+
+impl SolvePlan {
+    /// Build the plan for a workload on a device.
+    ///
+    /// Mirrors the paper's workflow (Figure 1):
+    /// * systems already fitting on-chip go straight to the base kernel;
+    /// * with at least `stage1_target_systems` independent systems, stage 2
+    ///   splits each system independently in one launch;
+    /// * otherwise stage 1 splits cooperatively (one launch per step) until
+    ///   the target count is reached, then stage 2 finishes the splitting.
+    ///
+    /// ```
+    /// use trisolve_core::{SolvePlan, SolverParams};
+    /// use trisolve_gpu_sim::DeviceSpec;
+    /// use trisolve_tridiag::workloads::WorkloadShape;
+    ///
+    /// // One 2M-equation system on a GTX 470 with default parameters:
+    /// // stage 1 runs until 16 subsystems exist, stage 2 finishes the
+    /// // splitting, the base kernel solves 8192 chains of 256.
+    /// let plan = SolvePlan::build(
+    ///     WorkloadShape::new(1, 2 * 1024 * 1024),
+    ///     &SolverParams::default_untuned(),
+    ///     DeviceSpec::gtx_470().queryable(),
+    ///     4,
+    /// ).unwrap();
+    /// assert_eq!(plan.stage1_steps, 4);
+    /// assert_eq!(plan.stage2_steps, 9);
+    /// assert_eq!(plan.num_launches(), 6); // 4 + 1 + base kernel
+    /// assert_eq!(plan.split_factor, 8192);
+    /// ```
+    pub fn build(
+        shape: WorkloadShape,
+        params: &SolverParams,
+        device: &QueryableProps,
+        elem_bytes: usize,
+    ) -> Result<SolvePlan> {
+        params.validate(device, elem_bytes)?;
+        if shape.num_systems == 0 || shape.system_size == 0 {
+            return Err(CoreError::BadParams {
+                detail: "workload must have at least one system and one equation".into(),
+            });
+        }
+        let m = shape.num_systems;
+        let n = shape.system_size.next_power_of_two();
+
+        let chain_len = params.onchip_size.min(n);
+        let split_factor = n / chain_len;
+        let total_split_steps = split_factor.trailing_zeros();
+
+        // Stage 1 runs while independent systems < target, up to the number
+        // of splits available.
+        let mut stage1_steps = 0u32;
+        if split_factor > 1 {
+            let mut systems = m;
+            while systems < params.stage1_target_systems && stage1_steps < total_split_steps {
+                systems *= 2;
+                stage1_steps += 1;
+            }
+        }
+        let stage2_steps = total_split_steps - stage1_steps;
+
+        let mut ops = Vec::new();
+        let mut stride = 1usize;
+        let mut systems = m;
+        for _ in 0..stage1_steps {
+            ops.push(StageOp::Stage1Split {
+                stride,
+                systems_now: systems,
+            });
+            stride *= 2;
+            systems *= 2;
+        }
+        if stage2_steps > 0 {
+            ops.push(StageOp::Stage2Split {
+                chains: systems,
+                stride_in: stride,
+                steps: stage2_steps,
+            });
+            stride <<= stage2_steps;
+            systems <<= stage2_steps;
+        }
+        let thomas_chains = params.thomas_switch.min(chain_len);
+        ops.push(StageOp::BaseSolve {
+            chains: systems,
+            chain_len,
+            stride,
+            thomas_chains,
+            variant: if stride == 1 {
+                // With unit stride both variants coincide; normalise.
+                BaseVariant::Strided
+            } else {
+                params.variant
+            },
+        });
+
+        Ok(SolvePlan {
+            shape,
+            padded_size: n,
+            params: *params,
+            stage1_steps,
+            stage2_steps,
+            chain_len,
+            split_factor,
+            ops,
+        })
+    }
+
+    /// Total number of kernel launches this plan performs.
+    pub fn num_launches(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Human-readable one-line summary, e.g.
+    /// `1x2M: 4x stage1 + stage2(x8) + base[512@4096]`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.stage1_steps > 0 {
+            parts.push(format!("{}x stage1", self.stage1_steps));
+        }
+        if self.stage2_steps > 0 {
+            parts.push(format!("stage2(x{})", self.stage2_steps));
+        }
+        if let Some(StageOp::BaseSolve {
+            chain_len, stride, ..
+        }) = self.ops.last()
+        {
+            parts.push(format!("base[{chain_len}@{stride}]"));
+        }
+        format!("{}: {}", self.shape.label(), parts.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    fn q470() -> QueryableProps {
+        DeviceSpec::gtx_470().queryable().clone()
+    }
+
+    fn params(p1: usize, s3: usize, t4: usize) -> SolverParams {
+        SolverParams {
+            stage1_target_systems: p1,
+            onchip_size: s3,
+            thomas_switch: t4,
+            variant: BaseVariant::Strided,
+        }
+    }
+
+    #[test]
+    fn small_systems_go_straight_to_base() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(1000, 256),
+            &params(16, 512, 64),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.stage1_steps, 0);
+        assert_eq!(plan.stage2_steps, 0);
+        assert_eq!(plan.ops.len(), 1);
+        assert!(matches!(
+            plan.ops[0],
+            StageOp::BaseSolve {
+                chains: 1000,
+                chain_len: 256,
+                stride: 1,
+                thomas_chains: 64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn many_large_systems_use_stage2_only() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(1024, 4096),
+            &params(16, 512, 64),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.stage1_steps, 0);
+        assert_eq!(plan.stage2_steps, 3); // 4096 -> 512 is 3 halvings
+        assert_eq!(plan.split_factor, 8);
+        assert_eq!(plan.ops.len(), 2);
+        assert!(matches!(
+            plan.ops[1],
+            StageOp::BaseSolve {
+                chains: 8192,
+                chain_len: 512,
+                stride: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn single_huge_system_uses_stage1_then_stage2() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(1, 2 * 1024 * 1024),
+            &params(16, 512, 128),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        // 1 -> 16 systems needs 4 stage-1 steps; 2M/512 = 4096 = 2^12 total.
+        assert_eq!(plan.stage1_steps, 4);
+        assert_eq!(plan.stage2_steps, 8);
+        assert_eq!(plan.num_launches(), 4 + 1 + 1);
+        // Stage-1 strides double per step.
+        let strides: Vec<usize> = plan
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                StageOp::Stage1Split { stride, .. } => Some(*stride),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strides, vec![1, 2, 4, 8]);
+        assert!(matches!(
+            plan.ops[4],
+            StageOp::Stage2Split {
+                chains: 16,
+                stride_in: 16,
+                steps: 8
+            }
+        ));
+    }
+
+    #[test]
+    fn stage1_stops_when_fully_split() {
+        // Tiny split budget: target 64 systems but only 2 splits available.
+        let plan = SolvePlan::build(
+            WorkloadShape::new(1, 1024),
+            &params(64, 256, 32),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.stage1_steps, 2);
+        assert_eq!(plan.stage2_steps, 0);
+        assert_eq!(plan.split_factor, 4);
+    }
+
+    #[test]
+    fn non_power_of_two_systems_are_padded() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(4, 1000),
+            &params(16, 256, 32),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.padded_size, 1024);
+        assert_eq!(plan.split_factor, 4);
+    }
+
+    #[test]
+    fn thomas_switch_clamped_to_chain_length() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(8, 64),
+            &params(16, 512, 128),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        assert!(matches!(
+            plan.ops[0],
+            StageOp::BaseSolve {
+                chain_len: 64,
+                thomas_chains: 64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unit_stride_normalises_variant() {
+        let mut p = params(16, 512, 64);
+        p.variant = BaseVariant::Coalesced;
+        let plan =
+            SolvePlan::build(WorkloadShape::new(10, 512), &p, &q470(), 4).unwrap();
+        assert!(matches!(
+            plan.ops[0],
+            StageOp::BaseSolve {
+                variant: BaseVariant::Strided,
+                ..
+            }
+        ));
+        // But with real splitting the requested variant is preserved.
+        let plan =
+            SolvePlan::build(WorkloadShape::new(100, 4096), &p, &q470(), 4).unwrap();
+        assert!(matches!(
+            plan.ops.last().unwrap(),
+            StageOp::BaseSolve {
+                variant: BaseVariant::Coalesced,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn equation_conservation() {
+        // chains * chain_len == m * padded_size for every plan.
+        for (m, n) in [(1usize, 1 << 21), (7, 300), (1024, 1024), (3, 8192)] {
+            let plan = SolvePlan::build(
+                WorkloadShape::new(m, n),
+                &params(16, 256, 64),
+                &q470(),
+                4,
+            )
+            .unwrap();
+            if let Some(StageOp::BaseSolve {
+                chains, chain_len, ..
+            }) = plan.ops.last()
+            {
+                assert_eq!(chains * chain_len, m * plan.padded_size, "m={m} n={n}");
+            } else {
+                panic!("plan must end with BaseSolve");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        assert!(SolvePlan::build(
+            WorkloadShape::new(0, 128),
+            &params(16, 256, 32),
+            &q470(),
+            4
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn summary_mentions_stages() {
+        let plan = SolvePlan::build(
+            WorkloadShape::new(1, 2 * 1024 * 1024),
+            &params(16, 512, 128),
+            &q470(),
+            4,
+        )
+        .unwrap();
+        let s = plan.summary();
+        assert!(s.contains("stage1"));
+        assert!(s.contains("stage2"));
+        assert!(s.contains("base[512@4096]"));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # trisolve-dnc
+//!
+//! The paper's §VI-C claim, made executable: the multi-stage +
+//! auto-tuning strategy "will be applicable not only for tridiagonal
+//! solvers but also for a large class of divide-and-conquer problems" —
+//! bottom-up merge sort being the worked example (Hagerup & Rüb's parallel
+//! merge style).
+//!
+//! The sort has the same stage anatomy as the tridiagonal solver:
+//!
+//! | Tridiagonal solver | Merge sort |
+//! |---|---|
+//! | stage 3/4: solve subsystem in shared memory | sort a tile on-chip |
+//! | stage 2: one block splits one system | one block merges one run pair |
+//! | stage 1: blocks cooperate on one system | blocks cooperate on one merge (merge-path partitioning) |
+//! | stage-2→3 switch (`onchip_size`) | tile size |
+//! | stage-1→2 switch (`stage1_target_systems`) | cooperative-merge threshold |
+//!
+//! and the same tuning story: the two parameters are decoupled, so
+//! [`tune_sort`] hill-climbs them independently with simulated
+//! micro-benchmarks, seeded by machine-query guesses.
+
+pub mod fft;
+pub mod quicksort;
+pub mod sort;
+pub mod tune;
+
+pub use fft::{fft_on_gpu, tune_fft, FftOutcome, FftParams};
+pub use quicksort::{quicksort_on_gpu, tune_quicksort, QuickParams};
+pub use sort::{sort_on_gpu, SortOutcome, SortParams};
+pub use tune::{static_sort_params, tune_sort, SortTuneResult};

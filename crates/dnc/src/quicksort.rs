@@ -1,0 +1,508 @@
+//! Auto-tuned multi-stage quicksort — the paper's closing example
+//! ("particularly for multi-stage algorithms that involve multiple switch
+//! points (e.g. quicksort on the GPU)", §VII).
+//!
+//! Like the GPU quicksorts of the era (Cederman & Tsigas), the sort runs as
+//! host-driven *levels*: every level partitions the segments that are still
+//! too large for shared memory, and a final kernel sorts all the remaining
+//! small segments on-chip. The two switch points mirror the tridiagonal
+//! solver exactly:
+//!
+//! * **on-chip threshold** — segments at most this long are sorted in
+//!   shared memory (stage-2→3 analogue);
+//! * **cooperative threshold** — when fewer large segments than this
+//!   remain, partitioning switches to the cooperative two-kernel scheme
+//!   (count pass + scatter pass, several blocks per segment) instead of
+//!   one block per segment (stage-1↔2 analogue).
+//!
+//! Both are tuned by the same seeded hill climb.
+
+use crate::sort::SortOutcome;
+use trisolve_gpu_sim::{BufferId, Gpu, LaunchConfig, OutMode, SimError};
+
+/// Threads per block of the quicksort kernels.
+const QS_THREADS: usize = 256;
+/// Registers per thread.
+const QS_REGS: usize = 16;
+/// Blocks cooperating on one segment in the cooperative partition phase.
+const COOP_BLOCKS_PER_SEGMENT: usize = 16;
+/// Recursion-depth safety valve: beyond this many levels the remaining
+/// segments are sorted directly (guards adversarial pivot luck).
+const MAX_LEVELS: usize = 64;
+
+/// Tunable parameters of the multi-stage quicksort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuickParams {
+    /// Segments at most this long are sorted on-chip. Power of two.
+    pub onchip_threshold: usize,
+    /// Cooperative partitioning engages when fewer large segments than
+    /// this remain.
+    pub coop_threshold: usize,
+}
+
+impl QuickParams {
+    /// Machine-oblivious defaults (mirrors the solver's defaults: the
+    /// smallest device's on-chip capacity, sixteen segments).
+    pub fn default_untuned() -> Self {
+        Self {
+            onchip_threshold: 1024,
+            coop_threshold: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: usize,
+    len: usize,
+}
+
+/// Sort `data` (length a power of two, for parity with the other demos —
+/// the algorithm itself has no such constraint) with the multi-stage
+/// quicksort.
+pub fn quicksort_on_gpu(
+    gpu: &mut Gpu<u32>,
+    data: &[u32],
+    params: QuickParams,
+) -> Result<SortOutcome, SimError> {
+    let n = data.len();
+    if n == 0 {
+        return Err(SimError::InvalidLaunch {
+            detail: "cannot sort zero elements".into(),
+        });
+    }
+    let onchip = params
+        .onchip_threshold
+        .min(gpu.spec().queryable().shared_mem_per_sm_bytes / 4)
+        .max(32);
+
+    // Partition levels ping-pong between two buffers; segments that have
+    // shrunk below the on-chip threshold stop being copied, so each small
+    // segment records *which* buffer (parity) holds its data. The final
+    // on-chip pass reads both buffers and writes a third.
+    let bufs = [gpu.alloc_from(data)?, gpu.alloc(n)?];
+    let out_buf = gpu.alloc(n)?;
+    let t0 = gpu.elapsed_s();
+    let launches_before = gpu.timeline().len();
+
+    let mut parity = 0usize;
+    let mut large: Vec<Segment> = vec![Segment { start: 0, len: n }];
+    let mut small: Vec<(Segment, usize)> = Vec::new();
+    let mut level = 0usize;
+
+    while !large.is_empty() && level < MAX_LEVELS {
+        level += 1;
+        let (src, dst) = (bufs[parity], bufs[1 - parity]);
+        let splits = if large.len() < params.coop_threshold {
+            partition_cooperative(gpu, src, dst, &large)?
+        } else {
+            partition_independent(gpu, src, dst, &large)?
+        };
+        parity = 1 - parity;
+
+        let mut next = Vec::new();
+        for (seg, split) in large.iter().zip(&splits) {
+            for part in [
+                Segment {
+                    start: seg.start,
+                    len: split - seg.start,
+                },
+                Segment {
+                    start: *split,
+                    len: seg.start + seg.len - split,
+                },
+            ] {
+                if part.len == 0 {
+                    continue;
+                }
+                if part.len <= onchip {
+                    small.push((part, parity));
+                } else {
+                    next.push(part);
+                }
+            }
+        }
+        large = next;
+    }
+    // Safety valve against adversarial pivot luck: whatever is still large
+    // is sorted directly by the final pass (correct; merely under-metered).
+    small.extend(large.drain(..).map(|s| (s, parity)));
+
+    onchip_sort_pass(gpu, bufs, out_buf, &small, onchip)?;
+
+    let sim_time_s = gpu.elapsed_s() - t0;
+    let kernel_stats = gpu.timeline()[launches_before..].to_vec();
+    let out = gpu.download(out_buf)?;
+    for id in [bufs[0], bufs[1], out_buf] {
+        gpu.free(id)?;
+    }
+    Ok(SortOutcome {
+        data: out,
+        sim_time_s,
+        kernel_stats,
+    })
+}
+
+/// Median-of-three pivot of a segment.
+fn pivot_of(input: &[u32], seg: &Segment) -> u32 {
+    let a = input[seg.start];
+    let b = input[seg.start + seg.len / 2];
+    let c = input[seg.start + seg.len - 1];
+    a.max(b).min(a.min(b).max(c)) // median(a, b, c)
+}
+
+/// Stage-2 analogue: one block partitions one segment around its pivot.
+/// Returns the split position (start of the >=-pivot half) per segment.
+fn partition_independent(
+    gpu: &mut Gpu<u32>,
+    src: BufferId,
+    dst: BufferId,
+    segments: &[Segment],
+) -> Result<Vec<usize>, SimError> {
+    let cfg = LaunchConfig::new(
+        format!("qs_part_ind[{}]", segments.len()),
+        segments.len(),
+        QS_THREADS,
+    )
+    .with_regs(QS_REGS);
+    let splits: Vec<std::sync::atomic::AtomicUsize> = segments
+        .iter()
+        .map(|_| std::sync::atomic::AtomicUsize::new(0))
+        .collect();
+    let segs = segments.to_vec();
+    gpu.launch(&cfg, &[src], &[(dst, OutMode::Scattered)], |ctx, io| {
+        let seg = segs[ctx.block_id as usize];
+        let input = &io.inputs[0][seg.start..seg.start + seg.len];
+        let pivot = pivot_of(io.inputs[0], &seg);
+        // Three-way-free partition with a strict/equal trick that
+        // guarantees progress on duplicate-heavy inputs: elements equal to
+        // the pivot alternate sides by index parity.
+        let mut lo = seg.start;
+        let mut hi = seg.start + seg.len;
+        for (i, &v) in input.iter().enumerate() {
+            let left = v < pivot || (v == pivot && i % 2 == 0);
+            if left {
+                io.scattered[0].set(lo, v);
+                lo += 1;
+            } else {
+                hi -= 1;
+                io.scattered[0].set(hi, v);
+            }
+        }
+        splits[ctx.block_id as usize].store(lo, std::sync::atomic::Ordering::Relaxed);
+        ctx.gmem_read(seg.len, 1);
+        ctx.gmem_write(seg.len, 1);
+        ctx.ops(4 * seg.len);
+        ctx.sync();
+    })?;
+    Ok(splits
+        .iter()
+        .map(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+        .collect())
+}
+
+/// Stage-1 analogue: several blocks cooperate on each segment — a counting
+/// launch, a host-side prefix sum (the global synchronisation), then a
+/// scatter launch.
+fn partition_cooperative(
+    gpu: &mut Gpu<u32>,
+    src: BufferId,
+    dst: BufferId,
+    segments: &[Segment],
+) -> Result<Vec<usize>, SimError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let bps = COOP_BLOCKS_PER_SEGMENT;
+    let grid = segments.len() * bps;
+    let segs = segments.to_vec();
+    let pivots: Vec<u32> = {
+        let input = gpu.view(src)?;
+        segs.iter().map(|s| pivot_of(input, s)).collect()
+    };
+
+    // --- Launch 1: count lows per (segment, block-slice). -----------------
+    let counts: Vec<AtomicUsize> = (0..grid).map(|_| AtomicUsize::new(0)).collect();
+    let cfg = LaunchConfig::new(format!("qs_count[{}x{bps}]", segs.len()), grid, QS_THREADS)
+        .with_regs(QS_REGS);
+    {
+        let segs = &segs;
+        let pivots = &pivots;
+        let counts = &counts;
+        gpu.launch(&cfg, &[src], &[], |ctx, io| {
+            let gbid = ctx.block_id as usize;
+            let seg = segs[gbid / bps];
+            let part = gbid % bps;
+            let (lo, hi) = slice_bounds(seg.len, bps, part);
+            let pivot = pivots[gbid / bps];
+            let mut c = 0usize;
+            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi].iter().enumerate() {
+                if v < pivot || (v == pivot && (lo + i) % 2 == 0) {
+                    c += 1;
+                }
+            }
+            counts[gbid].store(c, Ordering::Relaxed);
+            ctx.gmem_read(hi - lo, 1);
+            ctx.ops(2 * (hi - lo));
+        })?;
+    }
+
+    // --- Host prefix sums (the per-split synchronisation cost is the two
+    // launches themselves). ------------------------------------------------
+    let mut lo_base = vec![0usize; grid];
+    let mut hi_base = vec![0usize; grid];
+    let mut splits = Vec::with_capacity(segs.len());
+    for (s, seg) in segs.iter().enumerate() {
+        let total_low: usize = (0..bps)
+            .map(|p| counts[s * bps + p].load(Ordering::Relaxed))
+            .sum();
+        let mut acc_low = seg.start;
+        let mut acc_high = seg.start + total_low;
+        for p in 0..bps {
+            lo_base[s * bps + p] = acc_low;
+            acc_low += counts[s * bps + p].load(Ordering::Relaxed);
+            let (lo, hi) = slice_bounds(seg.len, bps, p);
+            hi_base[s * bps + p] = acc_high;
+            acc_high += (hi - lo) - counts[s * bps + p].load(Ordering::Relaxed);
+        }
+        splits.push(seg.start + total_low);
+    }
+
+    // --- Launch 2: scatter. ------------------------------------------------
+    let cfg = LaunchConfig::new(format!("qs_scatter[{}x{bps}]", segs.len()), grid, QS_THREADS)
+        .with_regs(QS_REGS);
+    {
+        let segs = &segs;
+        let pivots = &pivots;
+        gpu.launch(&cfg, &[src], &[(dst, OutMode::Scattered)], |ctx, io| {
+            let gbid = ctx.block_id as usize;
+            let seg = segs[gbid / bps];
+            let part = gbid % bps;
+            let (lo, hi) = slice_bounds(seg.len, bps, part);
+            let pivot = pivots[gbid / bps];
+            let mut at_lo = lo_base[gbid];
+            let mut at_hi = hi_base[gbid];
+            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi].iter().enumerate() {
+                if v < pivot || (v == pivot && (lo + i) % 2 == 0) {
+                    io.scattered[0].set(at_lo, v);
+                    at_lo += 1;
+                } else {
+                    io.scattered[0].set(at_hi, v);
+                    at_hi += 1;
+                }
+            }
+            ctx.gmem_read(hi - lo, 1);
+            ctx.gmem_write(hi - lo, 2);
+            ctx.ops(3 * (hi - lo));
+            ctx.sync();
+        })?;
+    }
+    Ok(splits)
+}
+
+fn slice_bounds(len: usize, parts: usize, part: usize) -> (usize, usize) {
+    let chunk = len.div_ceil(parts);
+    let lo = (part * chunk).min(len);
+    let hi = ((part + 1) * chunk).min(len);
+    (lo, hi)
+}
+
+/// Stage-3/4 analogue: sort every small segment in shared memory, one block
+/// per segment. Each segment reads from the ping-pong buffer (`parity`)
+/// that holds its data.
+fn onchip_sort_pass(
+    gpu: &mut Gpu<u32>,
+    bufs: [BufferId; 2],
+    dst: BufferId,
+    segments: &[(Segment, usize)],
+    onchip: usize,
+) -> Result<(), SimError> {
+    let segs = segments.to_vec();
+    let cfg = LaunchConfig::new(
+        format!("qs_onchip[{}]", segs.len()),
+        segs.len(),
+        QS_THREADS.min(onchip),
+    )
+    .with_regs(QS_REGS)
+    .with_shared_mem(onchip * 4);
+    gpu.launch(
+        &cfg,
+        &[bufs[0], bufs[1]],
+        &[(dst, OutMode::Scattered)],
+        |ctx, io| {
+        let (seg, parity) = segs[ctx.block_id as usize];
+        let mut local: Vec<u32> =
+            io.inputs[parity][seg.start..seg.start + seg.len].to_vec();
+        local.sort_unstable();
+        for (i, &v) in local.iter().enumerate() {
+            io.scattered[0].set(seg.start + i, v);
+        }
+        // Bitonic-network metering (padded to the next power of two).
+        let padded = seg.len.next_power_of_two().max(2);
+        let log = padded.trailing_zeros() as usize;
+        let passes = log * (log + 1) / 2;
+        ctx.gmem_read(seg.len, 1);
+        ctx.gmem_write(seg.len, 1);
+        ctx.smem(2 * padded * passes);
+        ctx.ops(padded * passes);
+        for _ in 0..passes {
+            ctx.sync();
+        }
+    },
+    )?;
+    Ok(())
+}
+
+/// Tune the quicksort's two switch points (decoupled, seeded) on this
+/// device for inputs of length `len`.
+pub fn tune_quicksort(gpu: &mut Gpu<u32>, len: usize) -> (QuickParams, usize) {
+    use rand::{Rng, SeedableRng};
+    use trisolve_autotune::{hill_climb_pow2, Pow2Axis};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let mut evals = 0usize;
+
+    let shmem_cap = gpu.spec().queryable().shared_mem_per_sm_bytes / 4;
+    let max_onchip = {
+        let mut p = 64usize;
+        while p * 2 <= shmem_cap.min(4096) {
+            p *= 2;
+        }
+        p
+    };
+    let onchip_axis = Pow2Axis::new("qs_onchip", 64, max_onchip);
+    let measure = |gpu: &mut Gpu<u32>, p: QuickParams| {
+        quicksort_on_gpu(gpu, &data, p)
+            .map(|o| o.sim_time_s)
+            .unwrap_or(f64::INFINITY)
+    };
+
+    let coop_seed = gpu.spec().queryable().num_processors.next_power_of_two();
+    let (onchip, _, _) = hill_climb_pow2(onchip_axis, max_onchip, |v| {
+        evals += 1;
+        measure(gpu, QuickParams {
+            onchip_threshold: v,
+            coop_threshold: coop_seed,
+        })
+    });
+    let coop_axis = Pow2Axis::new("qs_coop", 1, 256);
+    let (coop, _, _) = hill_climb_pow2(coop_axis, coop_seed, |v| {
+        evals += 1;
+        measure(gpu, QuickParams {
+            onchip_threshold: onchip,
+            coop_threshold: v,
+        })
+    });
+    (
+        QuickParams {
+            onchip_threshold: onchip,
+            coop_threshold: coop,
+        },
+        evals,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    fn random_data(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn check_sorts(data: &[u32], params: QuickParams) {
+        let mut expect = data.to_vec();
+        expect.sort_unstable();
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        let out = quicksort_on_gpu(&mut gpu, data, params).unwrap();
+        assert_eq!(out.data, expect);
+        assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        for n in [1usize, 2, 100, 4096, 1 << 16] {
+            check_sorts(&random_data(n, 1), QuickParams::default_untuned());
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        let n = 1 << 14;
+        let sorted: Vec<u32> = (0..n as u32).collect();
+        let reverse: Vec<u32> = (0..n as u32).rev().collect();
+        let constant = vec![42u32; n];
+        let two_values: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        for data in [sorted, reverse, constant, two_values] {
+            check_sorts(&data, QuickParams::default_untuned());
+        }
+    }
+
+    #[test]
+    fn small_onchip_threshold_forces_deep_recursion() {
+        let data = random_data(1 << 15, 3);
+        check_sorts(
+            &data,
+            QuickParams {
+                onchip_threshold: 64,
+                coop_threshold: 8,
+            },
+        );
+    }
+
+    #[test]
+    fn cooperative_levels_use_two_launches() {
+        let data = random_data(1 << 15, 4);
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        // Force cooperative partitioning for every level.
+        let out = quicksort_on_gpu(
+            &mut gpu,
+            &data,
+            QuickParams {
+                onchip_threshold: 1024,
+                coop_threshold: usize::MAX,
+            },
+        )
+        .unwrap();
+        let counts: Vec<_> = out
+            .kernel_stats
+            .iter()
+            .filter(|s| s.label.starts_with("qs_count"))
+            .collect();
+        let scatters: Vec<_> = out
+            .kernel_stats
+            .iter()
+            .filter(|s| s.label.starts_with("qs_scatter"))
+            .collect();
+        assert!(!counts.is_empty());
+        assert_eq!(counts.len(), scatters.len());
+    }
+
+    #[test]
+    fn tuning_beats_or_matches_defaults() {
+        let len = 1 << 16;
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_280());
+        let (params, evals) = tune_quicksort(&mut gpu, len);
+        assert!(evals >= 3);
+        let data = random_data(len, 7);
+        let t_tuned = quicksort_on_gpu(&mut gpu, &data, params)
+            .unwrap()
+            .sim_time_s;
+        let t_default = quicksort_on_gpu(&mut gpu, &data, QuickParams::default_untuned())
+            .unwrap()
+            .sim_time_s;
+        assert!(
+            t_tuned <= t_default * 1.05,
+            "tuned {t_tuned:.3e} vs default {t_default:.3e}"
+        );
+        check_sorts(&data, params);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        assert!(quicksort_on_gpu(&mut gpu, &[], QuickParams::default_untuned()).is_err());
+    }
+}

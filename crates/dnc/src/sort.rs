@@ -1,0 +1,372 @@
+//! Multi-stage bottom-up merge sort on the simulated GPU.
+
+use trisolve_gpu_sim::{BufferId, Gpu, KernelStats, LaunchConfig, OutMode, SimError};
+
+/// Threads per block used by every sort kernel.
+const SORT_THREADS: usize = 256;
+/// Registers per thread of the sort kernels.
+const SORT_REGS: usize = 16;
+
+/// Tunable parameters of the multi-stage sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortParams {
+    /// Elements sorted on-chip per block in the tile phase (stage-2→3
+    /// switch analogue). Power of two.
+    pub tile_size: usize,
+    /// When fewer run pairs than this remain, merge passes switch to the
+    /// cooperative (multi-block, merge-path-partitioned) kernel — the
+    /// stage-1→2 switch analogue.
+    pub coop_threshold: usize,
+}
+
+impl SortParams {
+    /// Machine-oblivious defaults (every device can hold a 512-element tile
+    /// of `u32` on-chip).
+    pub fn default_untuned() -> Self {
+        Self {
+            tile_size: 512,
+            coop_threshold: 16,
+        }
+    }
+}
+
+/// Result of a multi-stage sort.
+#[derive(Debug, Clone)]
+pub struct SortOutcome {
+    /// The sorted data.
+    pub data: Vec<u32>,
+    /// Simulated seconds.
+    pub sim_time_s: f64,
+    /// Per-launch profile.
+    pub kernel_stats: Vec<KernelStats>,
+}
+
+/// Sort `data` (length a power of two) on the simulated GPU with the
+/// multi-stage merge sort.
+///
+/// ```
+/// use trisolve_dnc::{sort_on_gpu, SortParams};
+/// use trisolve_gpu_sim::{DeviceSpec, Gpu};
+///
+/// let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_280());
+/// let data: Vec<u32> = (0..1024u32).rev().collect();
+/// let out = sort_on_gpu(&mut gpu, &data, SortParams::default_untuned())?;
+/// assert!(out.data.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok::<(), trisolve_gpu_sim::SimError>(())
+/// ```
+pub fn sort_on_gpu(
+    gpu: &mut Gpu<u32>,
+    data: &[u32],
+    params: SortParams,
+) -> Result<SortOutcome, SimError> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(SimError::InvalidLaunch {
+            detail: format!("sort length {n} must be a nonzero power of two"),
+        });
+    }
+    let tile = params.tile_size.min(n);
+
+    let mut src = gpu.alloc_from(data)?;
+    let mut dst = gpu.alloc(n)?;
+    let t0 = gpu.elapsed_s();
+    let launches_before = gpu.timeline().len();
+
+    tile_sort(gpu, src, dst, n, tile)?;
+    std::mem::swap(&mut src, &mut dst);
+
+    let mut run = tile;
+    while run < n {
+        let pairs = n / (2 * run);
+        if pairs >= params.coop_threshold {
+            merge_pass_independent(gpu, src, dst, n, run)?;
+        } else {
+            merge_pass_cooperative(gpu, src, dst, n, run)?;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        run *= 2;
+    }
+
+    let sim_time_s = gpu.elapsed_s() - t0;
+    let kernel_stats = gpu.timeline()[launches_before..].to_vec();
+    let out = gpu.download(src)?;
+    gpu.free(src)?;
+    gpu.free(dst)?;
+    Ok(SortOutcome {
+        data: out,
+        sim_time_s,
+        kernel_stats,
+    })
+}
+
+/// Stage 3/4 analogue: each block sorts one tile in shared memory.
+fn tile_sort(
+    gpu: &mut Gpu<u32>,
+    src: BufferId,
+    dst: BufferId,
+    n: usize,
+    tile: usize,
+) -> Result<KernelStats, SimError> {
+    let grid = n / tile;
+    let cfg = LaunchConfig::new(format!("tile_sort[{tile}]"), grid, SORT_THREADS.min(tile))
+        .with_regs(SORT_REGS)
+        .with_shared_mem(tile * 4);
+    gpu.launch(
+        &cfg,
+        &[src],
+        &[(dst, OutMode::Chunked { chunk: tile })],
+        |ctx, io| {
+            let b = ctx.block_id as usize;
+            let mut local: Vec<u32> = io.inputs[0][b * tile..(b + 1) * tile].to_vec();
+            local.sort_unstable();
+            io.owned[0].copy_from_slice(&local);
+            // Bitonic-style on-chip sort: log^2 passes over the tile.
+            let log = tile.trailing_zeros() as usize;
+            let passes = log * (log + 1) / 2;
+            ctx.gmem_read(tile, 1);
+            ctx.gmem_write(tile, 1);
+            ctx.smem(2 * tile * passes);
+            ctx.ops(tile * passes);
+            for _ in 0..passes {
+                ctx.sync();
+            }
+        },
+    )
+}
+
+/// Stage-2 analogue: one block merges one pair of runs of length `run`.
+fn merge_pass_independent(
+    gpu: &mut Gpu<u32>,
+    src: BufferId,
+    dst: BufferId,
+    n: usize,
+    run: usize,
+) -> Result<KernelStats, SimError> {
+    let pairs = n / (2 * run);
+    let cfg = LaunchConfig::new(
+        format!("merge_ind[run={run}]"),
+        pairs,
+        SORT_THREADS,
+    )
+    .with_regs(SORT_REGS);
+    gpu.launch(
+        &cfg,
+        &[src],
+        &[(dst, OutMode::Chunked { chunk: 2 * run })],
+        |ctx, io| {
+            let b = ctx.block_id as usize;
+            let base = b * 2 * run;
+            let input = io.inputs[0];
+            merge_into(
+                &input[base..base + run],
+                &input[base + run..base + 2 * run],
+                io.owned[0],
+            );
+            // Streaming merge: threads cooperate via merge-path splits.
+            ctx.gmem_read(2 * run, 1);
+            ctx.gmem_write(2 * run, 1);
+            ctx.ops(2 * run + SORT_THREADS * run.trailing_zeros() as usize);
+            ctx.sync();
+        },
+    )
+}
+
+/// Stage-1 analogue: several blocks cooperate on each merge, each producing
+/// a contiguous slice of the output found by merge-path partitioning
+/// (binary searches in global memory).
+fn merge_pass_cooperative(
+    gpu: &mut Gpu<u32>,
+    src: BufferId,
+    dst: BufferId,
+    n: usize,
+    run: usize,
+) -> Result<KernelStats, SimError> {
+    let pairs = n / (2 * run);
+    // Enough blocks to fill the machine regardless of the pair count.
+    let q = gpu.spec().queryable();
+    let want_blocks = (4 * q.num_processors).next_power_of_two();
+    let blocks_per_pair = (want_blocks / pairs)
+        .max(1)
+        .next_power_of_two()
+        .min(2 * run);
+    let slice = (2 * run) / blocks_per_pair;
+    let grid = pairs * blocks_per_pair;
+    let cfg = LaunchConfig::new(
+        format!("merge_coop[run={run},bpp={blocks_per_pair}]"),
+        grid,
+        SORT_THREADS,
+    )
+    .with_regs(SORT_REGS);
+    gpu.launch(
+        &cfg,
+        &[src],
+        &[(dst, OutMode::Chunked { chunk: slice })],
+        |ctx, io| {
+            let gbid = ctx.block_id as usize;
+            let pair = gbid / blocks_per_pair;
+            let part = gbid % blocks_per_pair;
+            let base = pair * 2 * run;
+            let input = io.inputs[0];
+            let left = &input[base..base + run];
+            let right = &input[base + run..base + 2 * run];
+            // Merge-path: find the (i, j) split for output offsets
+            // k0 = part*slice and k1 = (part+1)*slice, then merge the
+            // segment.
+            let k0 = part * slice;
+            let k1 = k0 + slice;
+            let (i0, j0) = merge_path(left, right, k0);
+            let (i1, j1) = merge_path(left, right, k1);
+            merge_into(&left[i0..i1], &right[j0..j1], io.owned[0]);
+            // Two binary searches in global memory (uncoalesced point
+            // reads) plus the streaming merge of this slice.
+            let search = 2 * (run.max(2).trailing_zeros() as usize + 1);
+            ctx.gmem_read(search, 64);
+            ctx.gmem_read(slice, 1);
+            ctx.gmem_write(slice, 1);
+            ctx.ops(slice + SORT_THREADS * run.trailing_zeros() as usize);
+            ctx.sync();
+        },
+    )
+}
+
+/// The merge-path split: smallest `(i, j)` with `i + j == k` such that
+/// merging `left[..i]` and `right[..j]` yields the first `k` outputs.
+fn merge_path(left: &[u32], right: &[u32], k: usize) -> (usize, usize) {
+    let mut lo = k.saturating_sub(right.len());
+    let mut hi = k.min(left.len());
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = k - i;
+        if i < left.len() && j > 0 && left[i] < right[j - 1] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    (lo, k - lo)
+}
+
+/// Sequential two-way merge into an output slice.
+fn merge_into(left: &[u32], right: &[u32], out: &mut [u32]) {
+    debug_assert_eq!(left.len() + right.len(), out.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        if i < left.len() && (j >= right.len() || left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    fn random_data(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn merge_path_splits_correctly() {
+        let left = [1u32, 3, 5, 7];
+        let right = [2u32, 4, 6, 8];
+        for k in 0..=8 {
+            let (i, j) = merge_path(&left, &right, k);
+            assert_eq!(i + j, k);
+            // Everything in the prefix is <= everything after the split.
+            if i > 0 && j < right.len() {
+                assert!(left[i - 1] <= right[j]);
+            }
+            if j > 0 && i < left.len() {
+                assert!(right[j - 1] <= left[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_into_is_a_merge() {
+        let mut out = vec![0u32; 6];
+        merge_into(&[1, 4, 9], &[2, 3, 10], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 9, 10]);
+    }
+
+    #[test]
+    fn sorts_correctly_both_pass_kinds() {
+        let data = random_data(1 << 14, 7);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for coop_threshold in [1usize, 4, 1 << 20] {
+            let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+            let out = sort_on_gpu(
+                &mut gpu,
+                &data,
+                SortParams {
+                    tile_size: 256,
+                    coop_threshold,
+                },
+            )
+            .unwrap();
+            assert_eq!(out.data, expect, "coop_threshold={coop_threshold}");
+            assert!(out.sim_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn tile_size_larger_than_input_is_clamped() {
+        let data = random_data(1 << 10, 3);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_280());
+        let out = sort_on_gpu(
+            &mut gpu,
+            &data,
+            SortParams {
+                tile_size: 1 << 12,
+                coop_threshold: 16,
+            },
+        );
+        // 4096-element tile needs 16 KB shared: fits the 280 exactly; the
+        // tile is clamped to the input length (1024 elements).
+        assert_eq!(out.unwrap().data, expect);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        assert!(sort_on_gpu(&mut gpu, &[1, 2, 3], SortParams::default_untuned()).is_err());
+        assert!(sort_on_gpu(&mut gpu, &[], SortParams::default_untuned()).is_err());
+    }
+
+    #[test]
+    fn cooperative_passes_use_more_blocks() {
+        let data = random_data(1 << 15, 9);
+        let run = |coop: usize| {
+            let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+            sort_on_gpu(
+                &mut gpu,
+                &data,
+                SortParams {
+                    tile_size: 512,
+                    coop_threshold: coop,
+                },
+            )
+            .unwrap()
+        };
+        let independent = run(1);
+        let cooperative = run(1 << 20);
+        // Last pass: 1 pair. Independent = 1 block; cooperative = many.
+        let last_ind = independent.kernel_stats.last().unwrap();
+        let last_coop = cooperative.kernel_stats.last().unwrap();
+        assert_eq!(last_ind.grid_blocks, 1);
+        assert!(last_coop.grid_blocks > 8);
+        // And the cooperative final pass is faster (fills the machine).
+        assert!(last_coop.total_time_s() < last_ind.total_time_s());
+    }
+}

@@ -1,0 +1,131 @@
+//! Auto-tuning the multi-stage sort with the same machinery (and the same
+//! decoupling argument) as the tridiagonal solver: the tile size only cares
+//! about on-chip capacity and occupancy; the cooperative threshold only
+//! cares about machine fill during the tail merges. Two independent
+//! hill climbs, each seeded by a machine-query guess.
+
+use crate::sort::{sort_on_gpu, SortParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use trisolve_autotune::{hill_climb_pow2, Pow2Axis};
+use trisolve_gpu_sim::{Gpu, QueryableProps};
+
+/// Outcome of a sort tuning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortTuneResult {
+    /// The tuned parameters.
+    pub params: SortParams,
+    /// Micro-benchmark evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Machine-query guess: the largest power-of-two tile that fits in shared
+/// memory, and a cooperative threshold of one run pair per processor.
+pub fn static_sort_params(q: &QueryableProps) -> SortParams {
+    let by_shmem = q.shared_mem_per_sm_bytes / 4; // u32 elements
+    let mut tile = 64usize;
+    while tile * 2 <= by_shmem && tile * 2 <= 4096 {
+        tile *= 2;
+    }
+    SortParams {
+        tile_size: tile,
+        coop_threshold: q.num_processors.next_power_of_two(),
+    }
+}
+
+/// Tune the sort parameters on a device by hill climbing each axis
+/// independently from the machine-query seed, measuring simulated sorts of
+/// `len` random `u32`s.
+pub fn tune_sort(gpu: &mut Gpu<u32>, len: usize) -> SortTuneResult {
+    assert!(len.is_power_of_two(), "tuning length must be a power of two");
+    let q = gpu.spec().queryable().clone();
+    let seed = static_sort_params(&q);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let mut evals = 0usize;
+
+    let max_tile = {
+        let mut t = 64usize;
+        while t * 2 <= q.shared_mem_per_sm_bytes / 4 && t * 2 <= 4096 && t * 2 <= len {
+            t *= 2;
+        }
+        t
+    };
+    let tile_axis = Pow2Axis::new("tile_size", 64, max_tile);
+    let (tile, _, _) = hill_climb_pow2(tile_axis, seed.tile_size, |tile| {
+        evals += 1;
+        measure(gpu, &data, SortParams {
+            tile_size: tile,
+            coop_threshold: seed.coop_threshold,
+        })
+    });
+
+    let coop_axis = Pow2Axis::new("coop_threshold", 1, 256);
+    let (coop, _, _) = hill_climb_pow2(coop_axis, seed.coop_threshold, |coop| {
+        evals += 1;
+        measure(gpu, &data, SortParams {
+            tile_size: tile,
+            coop_threshold: coop,
+        })
+    });
+
+    SortTuneResult {
+        params: SortParams {
+            tile_size: tile,
+            coop_threshold: coop,
+        },
+        evaluations: evals,
+    }
+}
+
+fn measure(gpu: &mut Gpu<u32>, data: &[u32], params: SortParams) -> f64 {
+    match sort_on_gpu(gpu, data, params) {
+        Ok(out) => out.sim_time_s,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn static_guess_respects_shared_memory() {
+        let p = static_sort_params(DeviceSpec::geforce_8800_gtx().queryable());
+        assert!(p.tile_size * 4 <= 16 * 1024);
+        assert!(p.tile_size.is_power_of_two());
+        let p470 = static_sort_params(DeviceSpec::gtx_470().queryable());
+        assert!(p470.tile_size >= p.tile_size);
+    }
+
+    #[test]
+    fn tuning_improves_or_matches_untuned_default() {
+        let len = 1 << 16;
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        let result = tune_sort(&mut gpu, len);
+        assert!(result.evaluations >= 3);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        let t_tuned = measure(&mut gpu, &data, result.params);
+        let t_default = measure(&mut gpu, &data, SortParams::default_untuned());
+        assert!(
+            t_tuned <= t_default * 1.001,
+            "tuned {t_tuned} vs default {t_default}"
+        );
+    }
+
+    #[test]
+    fn tuned_sort_still_sorts() {
+        let len = 1 << 14;
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_280());
+        let result = tune_sort(&mut gpu, len);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        let out = sort_on_gpu(&mut gpu, &data, result.params).unwrap();
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(out.data, expect);
+    }
+}

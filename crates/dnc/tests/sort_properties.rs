@@ -1,0 +1,71 @@
+//! Property tests for the §VI-C multi-stage merge sort: correctness for
+//! arbitrary inputs and parameters, and cost-model sanity.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use trisolve_dnc::{sort_on_gpu, SortParams};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+
+fn data(len_log2: u32, seed: u64) -> Vec<u32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..1usize << len_log2).map(|_| rng.gen()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sorts_any_input_with_any_params(
+        len_log2 in 6u32..15,
+        tile_log2 in 6u32..11,
+        coop_log2 in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        let input = data(len_log2, seed);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let params = SortParams {
+            tile_size: 1 << tile_log2,
+            coop_threshold: 1 << coop_log2,
+        };
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+        let out = sort_on_gpu(&mut gpu, &input, params).unwrap();
+        prop_assert_eq!(out.data, expect);
+        prop_assert!(out.sim_time_s.is_finite() && out.sim_time_s > 0.0);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_inputs(len_log2 in 6u32..13) {
+        let n = 1usize << len_log2;
+        let sorted: Vec<u32> = (0..n as u32).collect();
+        let reverse: Vec<u32> = (0..n as u32).rev().collect();
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_280());
+        for input in [sorted.clone(), reverse] {
+            let out = sort_on_gpu(&mut gpu, &input, SortParams::default_untuned()).unwrap();
+            prop_assert_eq!(&out.data, &sorted);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs(len_log2 in 6u32..13, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input: Vec<u32> = (0..1usize << len_log2).map(|_| rng.gen_range(0..4u32)).collect();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::geforce_8800_gtx());
+        let out = sort_on_gpu(&mut gpu, &input, SortParams::default_untuned()).unwrap();
+        prop_assert_eq!(out.data, expect);
+    }
+
+    #[test]
+    fn larger_inputs_never_sort_faster(len_log2 in 8u32..13, seed in any::<u64>()) {
+        let params = SortParams::default_untuned();
+        let time = |lg: u32| {
+            let input = data(lg, seed);
+            let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
+            sort_on_gpu(&mut gpu, &input, params).unwrap().sim_time_s
+        };
+        prop_assert!(time(len_log2 + 1) >= time(len_log2));
+    }
+}

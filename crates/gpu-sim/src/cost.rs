@@ -1,0 +1,178 @@
+//! Cost metering: the counters a kernel accumulates while it runs, and the
+//! per-launch statistics the timing model produces from them.
+
+use serde::{Deserialize, Serialize};
+
+/// Metered costs of one block (or, summed, of a whole kernel).
+///
+/// Kernels record into these through [`crate::BlockCtx`]; the timing model in
+/// [`crate::timing`] converts them to simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostCounters {
+    /// Useful global-memory bytes read (payload, before coalescing waste).
+    pub gmem_read_bytes: f64,
+    /// Useful global-memory bytes written.
+    pub gmem_write_bytes: f64,
+    /// Bytes actually moved across the memory bus, including transaction
+    /// waste from uncoalesced access (≥ read + write payload).
+    pub gmem_txn_bytes: f64,
+    /// Number of warp-level global memory instructions issued (drives the
+    /// latency-exposure component).
+    pub gmem_warp_txns: f64,
+    /// Shared-memory word accesses.
+    pub smem_accesses: f64,
+    /// Extra serialised shared accesses caused by bank conflicts.
+    pub smem_conflict_accesses: f64,
+    /// Arithmetic thread-operations (one op on one thread = 1).
+    pub thread_ops: f64,
+    /// Block-wide barriers executed.
+    pub barriers: f64,
+}
+
+impl CostCounters {
+    /// Accumulate another counter set into this one.
+    pub fn add(&mut self, other: &CostCounters) {
+        self.gmem_read_bytes += other.gmem_read_bytes;
+        self.gmem_write_bytes += other.gmem_write_bytes;
+        self.gmem_txn_bytes += other.gmem_txn_bytes;
+        self.gmem_warp_txns += other.gmem_warp_txns;
+        self.smem_accesses += other.smem_accesses;
+        self.smem_conflict_accesses += other.smem_conflict_accesses;
+        self.thread_ops += other.thread_ops;
+        self.barriers += other.barriers;
+    }
+
+    /// Total useful payload bytes (read + write).
+    pub fn gmem_payload_bytes(&self) -> f64 {
+        self.gmem_read_bytes + self.gmem_write_bytes
+    }
+
+    /// Coalescing efficiency achieved: payload / moved (1.0 = perfect).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.gmem_txn_bytes == 0.0 {
+            1.0
+        } else {
+            self.gmem_payload_bytes() / self.gmem_txn_bytes
+        }
+    }
+}
+
+/// What bounded a kernel's simulated execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LimitedBy {
+    /// Global memory bandwidth (streaming kernels).
+    Bandwidth,
+    /// Processor execution: arithmetic, shared memory and stalls.
+    Execution,
+    /// Fixed launch overhead dominated (tiny kernels).
+    Overhead,
+}
+
+/// Per-SM residency of a launch and the resource that limited it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Residency {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM (`blocks × ⌈threads/32⌉`).
+    pub warps_per_sm: usize,
+    /// The resource that capped residency.
+    pub limited_by: &'static str,
+}
+
+/// Everything the simulator reports about one kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Kernel label (for profiles and reports).
+    pub label: String,
+    /// Number of blocks launched.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Residency achieved.
+    pub residency: Residency,
+    /// Summed counters across every block.
+    pub totals: CostCounters,
+    /// Simulated execution time in seconds (excludes launch overhead).
+    pub exec_time_s: f64,
+    /// Simulated launch overhead in seconds.
+    pub overhead_s: f64,
+    /// What bounded execution.
+    pub limited_by: LimitedBy,
+}
+
+impl KernelStats {
+    /// Total simulated wall time of this launch.
+    pub fn total_time_s(&self) -> f64 {
+        self.exec_time_s + self.overhead_s
+    }
+
+    /// Total simulated wall time in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.total_time_s() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = CostCounters {
+            gmem_read_bytes: 100.0,
+            thread_ops: 5.0,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            gmem_read_bytes: 50.0,
+            gmem_write_bytes: 25.0,
+            barriers: 2.0,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.gmem_read_bytes, 150.0);
+        assert_eq!(a.gmem_write_bytes, 25.0);
+        assert_eq!(a.barriers, 2.0);
+        assert_eq!(a.gmem_payload_bytes(), 175.0);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let perfect = CostCounters {
+            gmem_read_bytes: 128.0,
+            gmem_txn_bytes: 128.0,
+            ..Default::default()
+        };
+        assert_eq!(perfect.coalescing_efficiency(), 1.0);
+
+        let wasteful = CostCounters {
+            gmem_read_bytes: 128.0,
+            gmem_txn_bytes: 1024.0,
+            ..Default::default()
+        };
+        assert_eq!(wasteful.coalescing_efficiency(), 0.125);
+
+        let none = CostCounters::default();
+        assert_eq!(none.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn stats_time_helpers() {
+        let s = KernelStats {
+            label: "k".into(),
+            grid_blocks: 1,
+            block_threads: 32,
+            residency: Residency {
+                blocks_per_sm: 1,
+                warps_per_sm: 1,
+                limited_by: "threads",
+            },
+            totals: CostCounters::default(),
+            exec_time_s: 1e-3,
+            overhead_s: 5e-6,
+            limited_by: LimitedBy::Execution,
+        };
+        assert!((s.total_time_s() - 1.005e-3).abs() < 1e-12);
+        assert!((s.total_time_ms() - 1.005).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Analytic CPU timing model for the Figure 8 baseline: a Core-i5-class
+//! dual-core at 3.4 GHz running a sequential LU (`gtsv`) tridiagonal solver,
+//! parallelised over systems with one thread per core (the paper's OpenMP
+//! setup; a single thread for a single system, since the solver is
+//! sequential).
+//!
+//! Like the GPU model, this produces *simulated* seconds so both sides of
+//! the CPU-vs-GPU comparison live in the same time domain. The
+//! per-equation constant is calibrated once against the paper's measured MKL
+//! times (see EXPERIMENTS.md); the *model structure* (linear in equations,
+//! near-linear thread scaling degraded by memory contention) is what carries
+//! the comparison's shape.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU description + calibrated solver cost constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Physical cores available.
+    pub cores: usize,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Calibrated single-thread cost of one LU-solved equation, in
+    /// nanoseconds (covers the division-latency-bound dependency chain of
+    /// `gtsv` plus its memory traffic).
+    pub ns_per_eq_lu: f64,
+    /// Per-core slowdown factor when `t` threads run concurrently
+    /// (`contention[0] = 1.0` for one thread); models shared cache/memory
+    /// bandwidth. Indexed by `min(threads, len) - 1`.
+    pub contention: Vec<f64>,
+    /// One-time cost of spinning up the thread team, in microseconds.
+    pub thread_spawn_us: f64,
+}
+
+impl CpuSpec {
+    /// The paper's CPU: "3.4 GHz Intel Core i5 dual-core" running MKL
+    /// 10.2.5.035. Constants calibrated against Figure 8 (see
+    /// EXPERIMENTS.md for the calibration record).
+    pub fn core_i5_dual_3_4ghz() -> Self {
+        Self {
+            name: "Intel Core i5 dual-core 3.4 GHz (MKL gtsv model)".into(),
+            cores: 2,
+            clock_ghz: 3.4,
+            ns_per_eq_lu: 16.2,
+            contention: vec![1.0, 1.26],
+            thread_spawn_us: 30.0,
+        }
+    }
+
+    /// Per-core slowdown with `threads` active.
+    pub fn contention_factor(&self, threads: usize) -> f64 {
+        assert!(threads >= 1);
+        let idx = threads.min(self.contention.len()) - 1;
+        self.contention[idx]
+    }
+
+    /// Simulated seconds to solve `m` systems of `n` equations with
+    /// `threads` threads, each system solved sequentially by LU.
+    pub fn time_batch_lu(&self, m: usize, n: usize, threads: usize) -> f64 {
+        assert!(threads >= 1, "need at least one thread");
+        let threads = threads.min(self.cores).min(m.max(1));
+        let per_eq_s = self.ns_per_eq_lu * 1e-9 * self.contention_factor(threads);
+        let systems_per_thread = m.div_ceil(threads);
+        let spawn = if threads > 1 {
+            self.thread_spawn_us * 1e-6
+        } else {
+            0.0
+        };
+        systems_per_thread as f64 * n as f64 * per_eq_s + spawn
+    }
+
+    /// The paper's driver policy: as many threads as cores when there are
+    /// multiple systems, a single thread for a single system. Returns
+    /// `(seconds, threads_used)`.
+    pub fn time_batch_lu_auto(&self, m: usize, n: usize) -> (f64, usize) {
+        let threads = if m >= 2 { self.cores } else { 1 };
+        (self.time_batch_lu(m, n, threads), threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 8 CPU milliseconds for the four workloads.
+    const PAPER: [(usize, usize, f64); 4] = [
+        (1024, 1024, 10.70),
+        (2048, 2048, 37.9),
+        (4096, 4096, 168.3),
+        (1, 2 * 1024 * 1024, 34.0),
+    ];
+
+    #[test]
+    fn calibration_matches_figure8_within_20_percent() {
+        let cpu = CpuSpec::core_i5_dual_3_4ghz();
+        for (m, n, paper_ms) in PAPER {
+            let (t, _) = cpu.time_batch_lu_auto(m, n);
+            let ms = t * 1e3;
+            let ratio = ms / paper_ms;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{m}x{n}: model {ms:.2} ms vs paper {paper_ms} ms (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_system_uses_one_thread() {
+        let cpu = CpuSpec::core_i5_dual_3_4ghz();
+        let (_, threads) = cpu.time_batch_lu_auto(1, 1000);
+        assert_eq!(threads, 1);
+        let (_, threads) = cpu.time_batch_lu_auto(100, 1000);
+        assert_eq!(threads, 2);
+    }
+
+    #[test]
+    fn two_threads_faster_than_one_but_sublinear() {
+        let cpu = CpuSpec::core_i5_dual_3_4ghz();
+        let t1 = cpu.time_batch_lu(1024, 1024, 1);
+        let t2 = cpu.time_batch_lu(1024, 1024, 2);
+        assert!(t2 < t1);
+        let speedup = t1 / t2;
+        assert!(speedup > 1.3 && speedup < 2.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn threads_clamped_to_cores_and_systems() {
+        let cpu = CpuSpec::core_i5_dual_3_4ghz();
+        // 16 threads requested on 2 cores: same as 2.
+        assert_eq!(
+            cpu.time_batch_lu(100, 100, 16),
+            cpu.time_batch_lu(100, 100, 2)
+        );
+        // 2 threads on 1 system: same as 1 thread (no spawn either).
+        assert_eq!(cpu.time_batch_lu(1, 100, 2), cpu.time_batch_lu(1, 100, 1));
+    }
+
+    #[test]
+    fn time_is_linear_in_equations() {
+        let cpu = CpuSpec::core_i5_dual_3_4ghz();
+        let t1 = cpu.time_batch_lu(1, 1000, 1);
+        let t2 = cpu.time_batch_lu(1, 2000, 1);
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the GPU simulator: invalid launches, resource
+/// exhaustion, and buffer misuse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Device global memory exhausted.
+    OutOfGlobalMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// A buffer id was used after being freed, or never existed.
+    InvalidBuffer {
+        /// The offending id (raw index).
+        id: usize,
+    },
+    /// The launch configuration cannot run on this device at all.
+    LaunchTooLarge {
+        /// Which resource was exceeded.
+        resource: &'static str,
+        /// Requested amount.
+        requested: usize,
+        /// Device limit.
+        limit: usize,
+    },
+    /// A launch parameter was malformed (zero blocks/threads, …).
+    InvalidLaunch {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Two blocks wrote the same output element (a data race on real
+    /// hardware). Only detected when race checking is enabled.
+    WriteRace {
+        /// Output buffer position that was written twice.
+        index: usize,
+        /// First writer block.
+        first_block: u32,
+        /// Second writer block.
+        second_block: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfGlobalMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of global memory: requested {requested} B, {available} B available"
+            ),
+            SimError::InvalidBuffer { id } => write!(f, "invalid buffer id {id}"),
+            SimError::LaunchTooLarge {
+                resource,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "launch exceeds device limit: {resource} = {requested} > {limit}"
+            ),
+            SimError::InvalidLaunch { detail } => write!(f, "invalid launch: {detail}"),
+            SimError::WriteRace {
+                index,
+                first_block,
+                second_block,
+            } => write!(
+                f,
+                "write race on output index {index}: blocks {first_block} and {second_block}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::LaunchTooLarge {
+            resource: "threads per block",
+            requested: 2048,
+            limit: 1024,
+        };
+        assert!(e.to_string().contains("threads per block"));
+        assert!(e.to_string().contains("2048"));
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(
+            SimError::InvalidBuffer { id: 3 },
+            SimError::InvalidBuffer { id: 3 }
+        );
+    }
+}

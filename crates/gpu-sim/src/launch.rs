@@ -1,0 +1,560 @@
+//! The kernel launch abstraction: launch configurations, the per-block
+//! execution context with its cost meters, and the output-writing façades
+//! (owned chunks vs. race-checked scattered writes).
+//!
+//! ## Programming model
+//!
+//! A kernel is a Rust closure invoked once per block. It receives:
+//!
+//! * a [`BlockCtx`] — block id plus the cost meters it must feed as it works
+//!   (`gmem_read`, `smem`, `ops`, `sync`, …);
+//! * a [`BlockIo`] — read-only views of the input buffers, an exclusive
+//!   mutable chunk of each *chunked* output, and a [`ScatterWriter`] for each
+//!   *scattered* output.
+//!
+//! Blocks run independently (in parallel via Rayon) and cannot communicate —
+//! exactly the real-GPU constraint that a kernel has no global barrier. The
+//! paper's stage 1 needs a global synchronisation per split and therefore
+//! pays one *launch* per split; the simulator enforces that structure.
+//!
+//! Scattered outputs are race-checked: if two blocks write the same element,
+//! the launch fails with [`SimError::WriteRace`] instead of silently
+//! corrupting data (on hardware this would be undefined behaviour).
+
+use crate::cost::CostCounters;
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::Element;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Configuration of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Label shown in profiles and error messages.
+    pub label: String,
+    /// Number of blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Shared memory bytes used per block.
+    pub shared_mem_bytes: usize,
+    /// Registers used per thread (residency pressure).
+    pub regs_per_thread: usize,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, grid_blocks: usize, block_threads: usize) -> Self {
+        Self {
+            label: label.into(),
+            grid_blocks,
+            block_threads,
+            shared_mem_bytes: 0,
+            regs_per_thread: 16,
+        }
+    }
+
+    /// Builder-style shared memory setting.
+    pub fn with_shared_mem(mut self, bytes: usize) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Builder-style register pressure setting.
+    pub fn with_regs(mut self, regs_per_thread: usize) -> Self {
+        self.regs_per_thread = regs_per_thread;
+        self
+    }
+}
+
+/// How an output buffer is partitioned among blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutMode {
+    /// Block `b` exclusively owns elements `b*chunk .. (b+1)*chunk` and gets
+    /// them as a readable *and* writable slice (its "own system" in global
+    /// memory). The final chunk may be shorter.
+    Chunked {
+        /// Elements per block.
+        chunk: usize,
+    },
+    /// Blocks may write anywhere, but every element at most once across the
+    /// whole grid (checked). Write-only.
+    Scattered,
+}
+
+/// Per-block execution context: identity plus cost meters.
+///
+/// The meters are the honesty contract of the simulation: every kernel must
+/// record the memory traffic and arithmetic it performs. The tridiagonal
+/// kernels' meter calls are verified against analytic expectations in the
+/// `trisolve-core` tests.
+#[derive(Debug)]
+pub struct BlockCtx<'a> {
+    /// This block's index within the grid.
+    pub block_id: u32,
+    /// Threads in this block.
+    pub block_threads: usize,
+    device: &'a DeviceSpec,
+    elem_bytes: usize,
+    counters: CostCounters,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        block_id: u32,
+        block_threads: usize,
+        device: &'a DeviceSpec,
+        elem_bytes: usize,
+    ) -> Self {
+        Self {
+            block_id,
+            block_threads,
+            device,
+            elem_bytes,
+            counters: CostCounters::default(),
+        }
+    }
+
+    /// Record a global-memory read of `elems` elements accessed with an
+    /// element stride of `stride_elems` between consecutive threads
+    /// (`1` = perfectly coalesced).
+    pub fn gmem_read(&mut self, elems: usize, stride_elems: usize) {
+        let (payload, moved, txns) = self.traffic(elems, stride_elems);
+        self.counters.gmem_read_bytes += payload;
+        self.counters.gmem_txn_bytes += moved;
+        self.counters.gmem_warp_txns += txns;
+    }
+
+    /// Record a global-memory write (same stride semantics as `gmem_read`).
+    pub fn gmem_write(&mut self, elems: usize, stride_elems: usize) {
+        let (payload, moved, txns) = self.traffic(elems, stride_elems);
+        self.counters.gmem_write_bytes += payload;
+        self.counters.gmem_txn_bytes += moved;
+        self.counters.gmem_warp_txns += txns;
+    }
+
+    fn traffic(&self, elems: usize, stride_elems: usize) -> (f64, f64, f64) {
+        let b = self.elem_bytes as f64;
+        let payload = elems as f64 * b;
+        let moved_per_elem = if stride_elems <= 1 {
+            b
+        } else {
+            // Each warp's accesses spread over `stride` segments; the memory
+            // system moves at least one minimum transaction per element once
+            // the stride exceeds the transaction width.
+            (b * stride_elems as f64).min(self.device.hidden().min_transaction_bytes)
+        }
+        .max(b);
+        let moved = elems as f64 * moved_per_elem;
+        // Issue slots: a fully coalesced warp access needs one slot per
+        // 128 bytes; a strided access serialises into one transaction per
+        // covered minimum-transaction segment, up to one per element — the
+        // latency-side cost of poor coalescing.
+        let warp = self.device.queryable().warp_size as f64;
+        let coalesced_slots = (b * warp / 128.0).max(1.0);
+        let slots_per_warp = if stride_elems <= 1 {
+            coalesced_slots
+        } else {
+            (warp * b * stride_elems as f64 / self.device.hidden().min_transaction_bytes)
+                .min(warp)
+                .max(coalesced_slots)
+        };
+        let txns = (elems as f64 / warp).ceil() * slots_per_warp;
+        (payload, moved, txns)
+    }
+
+    /// Record a global read of `total` elements of which only `unique` are
+    /// distinct — the overlapping neighbour streams of a PCR splitting
+    /// kernel, staged through shared memory (or caught by the texture/L1
+    /// cache on parts that have one). The redundant fraction that the
+    /// device's `read_reuse_fraction` captures never reaches the bus.
+    pub fn gmem_read_staged(&mut self, total: usize, unique: usize, stride_elems: usize) {
+        debug_assert!(unique <= total);
+        let reuse = self.device.hidden().read_reuse_fraction;
+        let redundant_missed = (total - unique) as f64 * (1.0 - reuse);
+        let effective = unique as f64 + redundant_missed;
+        // Per-element costs derived from one full warp's traffic.
+        let warp = self.device.queryable().warp_size as f64;
+        let (payload_warp, moved_warp, txn_warp) =
+            self.traffic(self.device.queryable().warp_size, stride_elems);
+        self.counters.gmem_read_bytes += unique as f64 * payload_warp / warp;
+        self.counters.gmem_txn_bytes += effective * moved_warp / warp;
+        self.counters.gmem_warp_txns += effective * txn_warp / warp;
+    }
+
+    /// Record a global read that is perfectly coalesced but *over-fetches*:
+    /// `factor`× the payload is moved to obtain `elems` useful elements (the
+    /// tile-transpose load of the base kernel's coalesced variant, which
+    /// reads whole contiguous tiles and keeps only its own chain's
+    /// elements).
+    pub fn gmem_read_overfetch(&mut self, elems: usize, factor: f64) {
+        assert!(factor >= 1.0, "overfetch factor must be >= 1");
+        let b = self.elem_bytes as f64;
+        let payload = elems as f64 * b;
+        self.counters.gmem_read_bytes += payload;
+        self.counters.gmem_txn_bytes += payload * factor;
+        let warp = self.device.queryable().warp_size as f64;
+        self.counters.gmem_warp_txns +=
+            (elems as f64 / warp).ceil() * factor * (b * warp / 128.0).max(1.0);
+    }
+
+    /// Meter a *serial phase*: each of `active_threads` threads executes
+    /// `steps` dependent steps of `ops_per_step` operations (the Thomas stage
+    /// of the hybrid base kernel, where one thread owns one subsystem).
+    ///
+    /// Two SIMT effects are charged beyond the raw operation count: idle
+    /// lanes in partially-filled warps, and the *dependency latency* of each
+    /// serial step (division + shared-memory round trip) that goes unhidden
+    /// when the block has fewer active warps than the device's pipeline
+    /// depth (`smem_pipeline_warps`). The latter is what makes switching to
+    /// Thomas too early expensive (paper Figure 6: "at the cost of less
+    /// parallelism to hide memory latency").
+    pub fn serial_phase(&mut self, steps: usize, ops_per_step: usize, active_threads: usize) {
+        if steps == 0 || active_threads == 0 {
+            return;
+        }
+        let q = self.device.queryable();
+        let h = self.device.hidden();
+        let warps = active_threads.div_ceil(q.warp_size);
+        let padded_threads = warps * q.warp_size;
+        let issue_ops = steps as f64 * ops_per_step as f64 * padded_threads as f64;
+        let unhidden = (1.0 - warps as f64 / h.smem_pipeline_warps).max(0.0);
+        let dep_cycles = steps as f64 * h.serial_dep_latency_cycles * unhidden;
+        // The timing model divides thread_ops by the lane count to get
+        // cycles; convert the latency cycles into equivalent thread-ops.
+        self.counters.thread_ops += issue_ops + dep_cycles * q.thread_procs_per_sm as f64;
+    }
+
+    /// Record `accesses` conflict-free shared-memory word accesses.
+    pub fn smem(&mut self, accesses: usize) {
+        self.counters.smem_accesses += accesses as f64;
+    }
+
+    /// Record shared-memory accesses serialised `ways`-fold by bank
+    /// conflicts (`ways = 1` means conflict-free).
+    pub fn smem_conflict(&mut self, accesses: usize, ways: f64) {
+        assert!(ways >= 1.0, "conflict degree must be >= 1");
+        self.counters.smem_accesses += accesses as f64;
+        self.counters.smem_conflict_accesses += accesses as f64 * (ways - 1.0);
+    }
+
+    /// Record shared-memory accesses at a power-of-two element stride
+    /// between consecutive threads — the classic cyclic-reduction pattern.
+    /// The conflict degree is `min(stride, bank count)`, additionally
+    /// multiplied by the 64-bit serialisation factor for wide elements.
+    pub fn smem_strided(&mut self, accesses: usize, stride: usize) {
+        let banks = self.device.hidden().shared_banks as f64;
+        let word_factor = (self.elem_bytes as f64 / 4.0).max(1.0);
+        let ways = (stride as f64).min(banks).max(1.0) * word_factor;
+        self.smem_conflict(accesses, ways);
+    }
+
+    /// Record `n` arithmetic thread-operations.
+    pub fn ops(&mut self, n: usize) {
+        self.counters.thread_ops += n as f64;
+    }
+
+    /// Record a block-wide barrier (`__syncthreads`).
+    pub fn sync(&mut self) {
+        self.counters.barriers += 1.0;
+    }
+
+    /// The device this block runs on (queryable part is fair game for
+    /// kernels, e.g. warp size).
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn counters(&self) -> &CostCounters {
+        &self.counters
+    }
+
+    pub(crate) fn into_counters(self) -> CostCounters {
+        self.counters
+    }
+}
+
+/// Shared scattered-output state for one buffer during one launch.
+pub(crate) struct SharedOut<E> {
+    ptr: *mut E,
+    len: usize,
+    claims: Option<Vec<AtomicU32>>,
+    race: AtomicBool,
+    race_info: Mutex<Option<(usize, u32, u32)>>,
+}
+
+// SAFETY: blocks write disjoint elements (enforced by the claim map when
+// race checking is on; promised by the kernel author otherwise), so
+// concurrent access through the raw pointer never aliases a write.
+unsafe impl<E: Send> Send for SharedOut<E> {}
+unsafe impl<E: Send> Sync for SharedOut<E> {}
+
+const UNCLAIMED: u32 = u32::MAX;
+
+impl<E: Element> SharedOut<E> {
+    pub(crate) fn new(buf: &mut [E], race_check: bool) -> Self {
+        let claims = race_check.then(|| {
+            let mut v = Vec::with_capacity(buf.len());
+            v.resize_with(buf.len(), || AtomicU32::new(UNCLAIMED));
+            v
+        });
+        Self {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+            claims,
+            race: AtomicBool::new(false),
+            race_info: Mutex::new(None),
+        }
+    }
+
+    fn set(&self, block: u32, idx: usize, v: E) {
+        assert!(
+            idx < self.len,
+            "scattered write out of bounds: {idx} >= {}",
+            self.len
+        );
+        if let Some(claims) = &self.claims {
+            let prev = claims[idx].swap(block, Ordering::Relaxed);
+            if prev != UNCLAIMED && prev != block {
+                self.race.store(true, Ordering::Relaxed);
+                let mut info = self.race_info.lock();
+                if info.is_none() {
+                    *info = Some((idx, prev, block));
+                }
+            }
+        }
+        // SAFETY: idx bounds-checked above; disjointness per the claim map.
+        unsafe {
+            *self.ptr.add(idx) = v;
+        }
+    }
+
+    pub(crate) fn race_error(&self) -> Option<SimError> {
+        if self.race.load(Ordering::Relaxed) {
+            let (index, first_block, second_block) = self.race_info.lock().unwrap_or((0, 0, 0));
+            Some(SimError::WriteRace {
+                index,
+                first_block,
+                second_block,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Write façade handed to a block for one scattered output buffer.
+pub struct ScatterWriter<'a, E: Element> {
+    pub(crate) out: &'a SharedOut<E>,
+    pub(crate) block: u32,
+}
+
+impl<E: Element> ScatterWriter<'_, E> {
+    /// Write `v` at `idx`. Panics if out of bounds; flags a race if another
+    /// block already wrote this element.
+    #[inline]
+    pub fn set(&self, idx: usize, v: E) {
+        self.out.set(self.block, idx, v);
+    }
+
+    /// Length of the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.out.len
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.out.len == 0
+    }
+}
+
+/// Everything a block can touch: input views, its owned chunks, and the
+/// scattered writers, in the order the corresponding buffers were passed to
+/// [`crate::Gpu::launch`].
+pub struct BlockIo<'a, E: Element> {
+    /// Read-only full views of the input buffers.
+    pub inputs: Vec<&'a [E]>,
+    /// This block's exclusive read-write chunk of each `Chunked` output.
+    pub owned: Vec<&'a mut [E]>,
+    /// Writers for each `Scattered` output.
+    pub scattered: Vec<ScatterWriter<'a, E>>,
+}
+
+/// Aliases to keep `Gpu::launch`'s signature readable.
+pub type BlockOut<'a, E> = BlockIo<'a, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn ctx(dev: &DeviceSpec) -> BlockCtx<'_> {
+        BlockCtx::new(0, 128, dev, 4)
+    }
+
+    #[test]
+    fn coalesced_traffic_is_payload() {
+        let dev = DeviceSpec::gtx_470();
+        let mut c = ctx(&dev);
+        c.gmem_read(1024, 1);
+        assert_eq!(c.counters().gmem_read_bytes, 4096.0);
+        assert_eq!(c.counters().gmem_txn_bytes, 4096.0);
+        assert_eq!(c.counters().coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn strided_traffic_inflates_up_to_transaction_floor() {
+        let dev = DeviceSpec::gtx_470();
+        // stride 2: 8 bytes moved per 4-byte element.
+        let mut c = ctx(&dev);
+        c.gmem_read(100, 2);
+        assert_eq!(c.counters().gmem_txn_bytes, 800.0);
+        // stride 64: capped at the 32-byte minimum transaction.
+        let mut c = ctx(&dev);
+        c.gmem_read(100, 64);
+        assert_eq!(c.counters().gmem_txn_bytes, 3200.0);
+        assert!((c.counters().coalescing_efficiency() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_and_reads_accumulate_separately() {
+        let dev = DeviceSpec::gtx_280();
+        let mut c = ctx(&dev);
+        c.gmem_read(10, 1);
+        c.gmem_write(20, 1);
+        assert_eq!(c.counters().gmem_read_bytes, 40.0);
+        assert_eq!(c.counters().gmem_write_bytes, 80.0);
+        assert_eq!(c.counters().gmem_payload_bytes(), 120.0);
+    }
+
+    #[test]
+    fn smem_conflicts_add_serialised_accesses() {
+        let dev = DeviceSpec::geforce_8800_gtx();
+        let mut c = ctx(&dev);
+        c.smem(100);
+        c.smem_conflict(100, 2.0);
+        assert_eq!(c.counters().smem_accesses, 200.0);
+        assert_eq!(c.counters().smem_conflict_accesses, 100.0);
+    }
+
+    #[test]
+    fn ops_and_sync_meter() {
+        let dev = DeviceSpec::gtx_470();
+        let mut c = ctx(&dev);
+        c.ops(500);
+        c.sync();
+        c.sync();
+        assert_eq!(c.counters().thread_ops, 500.0);
+        assert_eq!(c.counters().barriers, 2.0);
+    }
+
+    #[test]
+    fn scattered_out_detects_races() {
+        let mut buf = vec![0.0f32; 8];
+        let out = SharedOut::new(&mut buf, true);
+        out.set(0, 3, 1.0);
+        out.set(0, 3, 2.0); // same block rewriting: fine
+        assert!(out.race_error().is_none());
+        out.set(1, 3, 3.0); // different block: race
+        let err = out.race_error().unwrap();
+        assert!(matches!(err, SimError::WriteRace { index: 3, .. }));
+    }
+
+    #[test]
+    fn scattered_out_without_checking_allows_overlap() {
+        let mut buf = vec![0.0f32; 4];
+        let out = SharedOut::new(&mut buf, false);
+        out.set(0, 1, 1.0);
+        out.set(1, 1, 2.0);
+        assert!(out.race_error().is_none());
+        drop(out);
+        assert_eq!(buf[1], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scattered_out_bounds_checked() {
+        let mut buf = vec![0.0f32; 4];
+        let out = SharedOut::new(&mut buf, true);
+        out.set(0, 4, 1.0);
+    }
+
+    #[test]
+    fn staged_reads_discount_redundant_traffic() {
+        let dev = DeviceSpec::gtx_470(); // read_reuse_fraction 0.85
+        let mut c = ctx(&dev);
+        // 12 accesses per eq, 4 unique: payload counts unique only; the
+        // redundant 8 are 85% captured.
+        c.gmem_read_staged(1200, 400, 1);
+        assert_eq!(c.counters().gmem_read_bytes, 400.0 * 4.0);
+        let expect_moved = (400.0 + 800.0 * 0.15) * 4.0;
+        assert!((c.counters().gmem_txn_bytes - expect_moved).abs() < 1e-9);
+
+        // A plain read of the same unique payload moves less than the
+        // staged read (which pays for cache misses) but more than nothing.
+        let mut plain = ctx(&dev);
+        plain.gmem_read(400, 1);
+        assert!(plain.counters().gmem_txn_bytes < c.counters().gmem_txn_bytes);
+    }
+
+    #[test]
+    fn staged_reads_issue_one_slot_per_element_when_scattered() {
+        let dev = DeviceSpec::gtx_470();
+        let mut strided = ctx(&dev);
+        strided.gmem_read_staged(320, 320, 64);
+        let mut coalesced = ctx(&dev);
+        coalesced.gmem_read_staged(320, 320, 1);
+        // Fully scattered: one 32-byte transaction per element (f32), i.e.
+        // 32 slots per warp vs 1 when coalesced.
+        assert!(
+            strided.counters().gmem_warp_txns
+                >= 30.0 * coalesced.counters().gmem_warp_txns
+        );
+    }
+
+    #[test]
+    fn serial_phase_penalises_few_warps() {
+        let dev = DeviceSpec::gtx_470(); // pipeline depth 8 warps
+        let mut narrow = ctx(&dev);
+        narrow.serial_phase(16, 8, 32); // 1 warp active
+        let mut wide = ctx(&dev);
+        wide.serial_phase(4, 8, 256); // same total issue work, 8 warps
+        assert!(
+            narrow.counters().thread_ops > 2.0 * wide.counters().thread_ops,
+            "narrow {} vs wide {}",
+            narrow.counters().thread_ops,
+            wide.counters().thread_ops
+        );
+    }
+
+    #[test]
+    fn serial_phase_zero_cases() {
+        let dev = DeviceSpec::gtx_280();
+        let mut c = ctx(&dev);
+        c.serial_phase(0, 8, 64);
+        c.serial_phase(8, 8, 0);
+        assert_eq!(c.counters().thread_ops, 0.0);
+    }
+
+    #[test]
+    fn overfetch_scales_moved_not_payload() {
+        let dev = DeviceSpec::gtx_470();
+        let mut c = ctx(&dev);
+        c.gmem_read_overfetch(100, 8.0);
+        assert_eq!(c.counters().gmem_read_bytes, 400.0);
+        assert_eq!(c.counters().gmem_txn_bytes, 3200.0);
+    }
+
+    #[test]
+    fn launch_config_builders() {
+        let cfg = LaunchConfig::new("k", 10, 256)
+            .with_shared_mem(4096)
+            .with_regs(24);
+        assert_eq!(cfg.grid_blocks, 10);
+        assert_eq!(cfg.block_threads, 256);
+        assert_eq!(cfg.shared_mem_bytes, 4096);
+        assert_eq!(cfg.regs_per_thread, 24);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # trisolve-gpu-sim
+//!
+//! A *functional* GPU machine simulator: the hardware substitute for the
+//! CUDA GPUs the paper runs on (see DESIGN.md §2).
+//!
+//! Kernels are ordinary Rust closures executed once per block over real
+//! buffers, so they produce numerically correct results that the test suites
+//! verify against the CPU reference algorithms. While a kernel runs it meters
+//! its own memory traffic, arithmetic and synchronisation through a
+//! [`BlockCtx`]; an analytic SM-scheduler model then converts the meters into
+//! simulated milliseconds, accounting for the first-order effects every GPU
+//! performance paper models:
+//!
+//! * **residency/occupancy** — how many blocks fit on a processor at once,
+//!   limited by threads, registers and shared memory;
+//! * **latency hiding** — too few resident warps ⇒ stalls;
+//! * **coalescing** — strided global access wastes transaction bandwidth;
+//! * **shared-memory banking** — conflicting accesses serialise;
+//! * **launch overhead** — each kernel launch (the paper's stage-1 global
+//!   synchronisation) costs a fixed latency.
+//!
+//! The device descriptions split into a **queryable** part — exactly the
+//! fields CUDA's `deviceProperties` exposes (paper Table II) — and a
+//! **hidden** part (memory bandwidth, bank organisation, latency constants)
+//! that the paper notes *cannot* be queried. The static machine-query tuner
+//! is only given the queryable part; the dynamic tuner can measure simulated
+//! time. This reproduces the information asymmetry that drives the paper's
+//! central result.
+
+pub mod cost;
+pub mod cpu;
+pub mod device;
+pub mod error;
+pub mod launch;
+pub mod memory;
+pub mod timing;
+
+pub use cost::{CostCounters, KernelStats, LimitedBy};
+pub use cpu::CpuSpec;
+pub use device::{DeviceSpec, HiddenProps, QueryableProps};
+pub use error::SimError;
+pub use launch::{BlockCtx, BlockIo, BlockOut, LaunchConfig, OutMode, ScatterWriter};
+pub use memory::{BufferId, Gpu, ProfileEntry};
+
+/// Element types storable in simulated device memory.
+pub trait Element: Copy + Send + Sync + Default + std::fmt::Debug + 'static {
+    /// Size of the element in bytes (drives the traffic model).
+    const BYTES: usize;
+}
+
+macro_rules! impl_element {
+    ($($t:ty),*) => {
+        $(impl Element for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+        })*
+    };
+}
+
+impl_element!(f32, f64, u32, u64, i32, i64);

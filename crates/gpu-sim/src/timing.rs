@@ -1,0 +1,357 @@
+//! The analytic SM-scheduler timing model: converts a launch's metered costs
+//! into simulated seconds.
+//!
+//! The model captures the first-order effects the paper's tuning decisions
+//! trade against each other (§III-D):
+//!
+//! * **residency** — blocks per SM limited by threads, registers and shared
+//!   memory; determines how many warps are available to hide latency;
+//! * **stalls** — when the resident warps (scaled by the block-overlap
+//!   factor, which penalises single-resident-block barriers) fall short of
+//!   the device's `hide_warps`, execution cycles inflate proportionally;
+//! * **bandwidth floor** — a kernel can never finish faster than its
+//!   transaction bytes at the achievable bandwidth, itself derated when the
+//!   grid leaves processors idle or occupancy is too low to saturate the
+//!   memory system;
+//! * **launch overhead** — the fixed per-launch cost that makes the paper's
+//!   stage-1 (one launch per split) expensive.
+
+use crate::cost::{CostCounters, KernelStats, LimitedBy, Residency};
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::launch::LaunchConfig;
+
+/// Compute the per-SM residency of a launch, or fail if the configuration
+/// cannot run on the device at all.
+pub fn residency(spec: &DeviceSpec, cfg: &LaunchConfig) -> Result<Residency, SimError> {
+    let q = spec.queryable();
+    if cfg.grid_blocks == 0 {
+        return Err(SimError::InvalidLaunch {
+            detail: "grid has zero blocks".into(),
+        });
+    }
+    if cfg.block_threads == 0 {
+        return Err(SimError::InvalidLaunch {
+            detail: "block has zero threads".into(),
+        });
+    }
+    if cfg.grid_blocks > q.max_grid_blocks {
+        return Err(SimError::LaunchTooLarge {
+            resource: "grid blocks",
+            requested: cfg.grid_blocks,
+            limit: q.max_grid_blocks,
+        });
+    }
+    if cfg.block_threads > q.max_threads_per_block {
+        return Err(SimError::LaunchTooLarge {
+            resource: "threads per block",
+            requested: cfg.block_threads,
+            limit: q.max_threads_per_block,
+        });
+    }
+    if cfg.shared_mem_bytes > q.shared_mem_per_sm_bytes {
+        return Err(SimError::LaunchTooLarge {
+            resource: "shared memory bytes",
+            requested: cfg.shared_mem_bytes,
+            limit: q.shared_mem_per_sm_bytes,
+        });
+    }
+    let regs_block = cfg.regs_per_thread * cfg.block_threads;
+    if regs_block > q.registers_per_sm {
+        return Err(SimError::LaunchTooLarge {
+            resource: "registers per block",
+            requested: regs_block,
+            limit: q.registers_per_sm,
+        });
+    }
+
+    let by_threads = q.max_threads_per_sm / cfg.block_threads;
+    let by_regs = q
+        .registers_per_sm
+        .checked_div(regs_block)
+        .unwrap_or(q.max_blocks_per_sm);
+    let by_shmem = q
+        .shared_mem_per_sm_bytes
+        .checked_div(cfg.shared_mem_bytes)
+        .unwrap_or(q.max_blocks_per_sm);
+    let candidates = [
+        (q.max_blocks_per_sm, "max blocks"),
+        (by_threads, "threads"),
+        (by_regs, "registers"),
+        (by_shmem, "shared memory"),
+    ];
+    let (blocks, limited_by) = candidates
+        .iter()
+        .copied()
+        .min_by_key(|(v, _)| *v)
+        .expect("non-empty");
+
+    let warps_per_block = cfg.block_threads.div_ceil(q.warp_size);
+    Ok(Residency {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * warps_per_block,
+        limited_by,
+    })
+}
+
+/// Convert per-block metered costs into a [`KernelStats`] record.
+pub fn kernel_time(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    per_block: &[CostCounters],
+) -> Result<KernelStats, SimError> {
+    let res = residency(spec, cfg)?;
+    let q = spec.queryable();
+    let h = spec.hidden();
+
+    let mut totals = CostCounters::default();
+    for b in per_block {
+        totals.add(b);
+    }
+
+    // --- Execution component: round-robin blocks onto SMs, sum cycles per
+    // SM, take the slowest SM, inflate by the occupancy stall factor.
+    let num_sms = q.num_processors;
+    let mut sm_cycles = vec![0.0f64; num_sms];
+    for (i, b) in per_block.iter().enumerate() {
+        let compute = b.thread_ops / q.thread_procs_per_sm as f64;
+        let smem = (b.smem_accesses + b.smem_conflict_accesses)
+            / (h.shared_banks as f64 * h.bank_words_per_cycle);
+        let barrier = b.barriers * h.barrier_cycles;
+        let issue = b.gmem_warp_txns * h.txn_issue_cycles;
+        sm_cycles[i % num_sms] += compute + smem + barrier + issue;
+    }
+    let active_sms = cfg.grid_blocks.min(num_sms);
+    let resident_warps = res.warps_per_sm as f64;
+    let eff_warps = resident_warps * h.overlap(res.blocks_per_sm);
+    let stall = (h.hide_warps / eff_warps).max(1.0);
+    let clock_hz = h.core_clock_ghz * 1e9;
+    let max_sm_cycles = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    let exec_s = max_sm_cycles * stall / clock_hz;
+
+    // --- Bandwidth floor: transaction bytes over the achievable bandwidth,
+    // derated when the machine is not filled (few blocks / low occupancy).
+    let machine_warps =
+        (active_sms * res.warps_per_sm).min(cfg.grid_blocks * res.warps_per_sm / res.blocks_per_sm.max(1)) as f64;
+    let warps_wanted = h.hide_warps * num_sms as f64;
+    let utilization = (machine_warps / warps_wanted).min(1.0);
+    let bw = h.mem_bandwidth_gbps * 1e9 * h.achievable_bw_fraction * utilization.max(1e-6);
+    let bw_s = totals.gmem_txn_bytes / bw;
+
+    // --- Latency tail: one memory round-trip that cannot be hidden.
+    let tail_s = h.mem_latency_cycles / clock_hz;
+
+    let exec_total = exec_s.max(bw_s) + tail_s;
+    let overhead_s = h.launch_overhead_us * 1e-6;
+    let limited_by = if overhead_s > exec_total {
+        LimitedBy::Overhead
+    } else if bw_s >= exec_s {
+        LimitedBy::Bandwidth
+    } else {
+        LimitedBy::Execution
+    };
+
+    Ok(KernelStats {
+        label: cfg.label.clone(),
+        grid_blocks: cfg.grid_blocks,
+        block_threads: cfg.block_threads,
+        residency: res,
+        totals,
+        exec_time_s: exec_total,
+        overhead_s,
+        limited_by,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(grid: usize, threads: usize) -> LaunchConfig {
+        LaunchConfig::new("test", grid, threads)
+    }
+
+    #[test]
+    fn residency_limited_by_threads() {
+        let d = DeviceSpec::gtx_470(); // 1536 threads/SM
+        let r = residency(&d, &cfg(100, 512).with_regs(8)).unwrap();
+        assert_eq!(r.blocks_per_sm, 3);
+        assert_eq!(r.limited_by, "threads");
+        assert_eq!(r.warps_per_sm, 48);
+    }
+
+    #[test]
+    fn residency_limited_by_registers() {
+        let d = DeviceSpec::gtx_470(); // 32K regs
+        let r = residency(&d, &cfg(100, 512).with_regs(24)).unwrap();
+        // 512*24 = 12288 regs/block -> 2 blocks.
+        assert_eq!(r.blocks_per_sm, 2);
+        assert_eq!(r.limited_by, "registers");
+    }
+
+    #[test]
+    fn residency_limited_by_shared_memory() {
+        let d = DeviceSpec::gtx_280(); // 16 KB shared
+        let r = residency(&d, &cfg(100, 64).with_regs(8).with_shared_mem(9 * 1024)).unwrap();
+        assert_eq!(r.blocks_per_sm, 1);
+        assert_eq!(r.limited_by, "shared memory");
+    }
+
+    #[test]
+    fn oversized_launches_rejected() {
+        let d = DeviceSpec::geforce_8800_gtx();
+        assert!(matches!(
+            residency(&d, &cfg(1, 1024)),
+            Err(SimError::LaunchTooLarge {
+                resource: "threads per block",
+                ..
+            })
+        ));
+        assert!(matches!(
+            residency(&d, &cfg(1, 64).with_shared_mem(17 * 1024)),
+            Err(SimError::LaunchTooLarge {
+                resource: "shared memory bytes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            residency(&d, &cfg(1, 512).with_regs(64)),
+            Err(SimError::LaunchTooLarge {
+                resource: "registers per block",
+                ..
+            })
+        ));
+        assert!(matches!(
+            residency(&d, &cfg(0, 64)),
+            Err(SimError::InvalidLaunch { .. })
+        ));
+        assert!(matches!(
+            residency(&d, &cfg(1, 0)),
+            Err(SimError::InvalidLaunch { .. })
+        ));
+        assert!(matches!(
+            residency(&d, &cfg(65_535 * 65_535 + 1, 64)),
+            Err(SimError::LaunchTooLarge {
+                resource: "grid blocks",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn streaming_kernel_is_bandwidth_limited() {
+        let d = DeviceSpec::gtx_470();
+        // Plenty of blocks, almost no compute, lots of traffic.
+        let per_block: Vec<CostCounters> = (0..1024)
+            .map(|_| CostCounters {
+                gmem_read_bytes: 1_000_000.0,
+                gmem_txn_bytes: 1_000_000.0,
+                gmem_warp_txns: 100.0,
+                thread_ops: 10.0,
+                ..Default::default()
+            })
+            .collect();
+        let stats = kernel_time(&d, &cfg(1024, 256).with_regs(8), &per_block).unwrap();
+        assert_eq!(stats.limited_by, LimitedBy::Bandwidth);
+        // 1 GB at ~93.7 GB/s achievable ≈ 10.9 ms.
+        let expect = 1024.0 * 1e6 / (133.9e9 * 0.70);
+        assert!((stats.exec_time_s - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn compute_kernel_is_execution_limited() {
+        let d = DeviceSpec::gtx_470();
+        let per_block: Vec<CostCounters> = (0..1024)
+            .map(|_| CostCounters {
+                thread_ops: 1_000_000.0,
+                ..Default::default()
+            })
+            .collect();
+        let stats = kernel_time(&d, &cfg(1024, 256).with_regs(8), &per_block).unwrap();
+        assert_eq!(stats.limited_by, LimitedBy::Execution);
+    }
+
+    #[test]
+    fn tiny_kernel_is_overhead_limited() {
+        let d = DeviceSpec::gtx_470();
+        let per_block = vec![CostCounters {
+            thread_ops: 10.0,
+            ..Default::default()
+        }];
+        let stats = kernel_time(&d, &cfg(1, 32), &per_block).unwrap();
+        assert_eq!(stats.limited_by, LimitedBy::Overhead);
+        assert!(stats.overhead_s > stats.exec_time_s);
+    }
+
+    #[test]
+    fn small_grids_underutilize_bandwidth() {
+        let d = DeviceSpec::gtx_470();
+        let mk = |grid: usize| {
+            let per_block: Vec<CostCounters> = (0..grid)
+                .map(|_| CostCounters {
+                    gmem_read_bytes: 64_000_000.0 / grid as f64,
+                    gmem_txn_bytes: 64_000_000.0 / grid as f64,
+                    gmem_warp_txns: 100.0,
+                    ..Default::default()
+                })
+                .collect();
+            kernel_time(&d, &cfg(grid, 256).with_regs(8), &per_block)
+                .unwrap()
+                .exec_time_s
+        };
+        // Same total traffic, fewer blocks => slower (cannot saturate).
+        let t_full = mk(1024);
+        let t_small = mk(8);
+        assert!(
+            t_small > 1.5 * t_full,
+            "8-block streaming ({t_small:.2e}s) should be much slower than 1024-block ({t_full:.2e}s)"
+        );
+    }
+
+    #[test]
+    fn low_occupancy_stalls_execution() {
+        let d = DeviceSpec::gtx_470();
+        // Same per-block work; one config resident-limited to 32 warps of a
+        // single block (poor overlap), the other with 8 blocks of 64 threads.
+        let work = CostCounters {
+            thread_ops: 100_000.0,
+            smem_accesses: 50_000.0,
+            ..Default::default()
+        };
+        let t_one_block = kernel_time(
+            &d,
+            &cfg(14, 1024).with_regs(24),
+            &vec![work; 14],
+        )
+        .unwrap()
+        .exec_time_s;
+        let t_many = kernel_time(
+            &d,
+            &cfg(14 * 8, 128).with_regs(24),
+            &vec![
+                CostCounters {
+                    thread_ops: 100_000.0 / 8.0,
+                    smem_accesses: 50_000.0 / 8.0,
+                    ..Default::default()
+                };
+                14 * 8
+            ],
+        )
+        .unwrap()
+        .exec_time_s;
+        // Same total work per SM; the single-big-block version pays the
+        // single-resident-block overlap penalty.
+        assert!(
+            t_one_block > t_many,
+            "one-block {t_one_block:.3e} vs many {t_many:.3e}"
+        );
+    }
+
+    #[test]
+    fn launch_overhead_constant_per_launch() {
+        let d = DeviceSpec::geforce_8800_gtx();
+        let per_block = vec![CostCounters::default(); 14];
+        let s = kernel_time(&d, &cfg(14, 64), &per_block).unwrap();
+        assert!((s.overhead_s - 12e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests over the simulator itself: residency arithmetic, timing
+//! monotonicity, launch-validation totality and buffer accounting.
+
+use proptest::prelude::*;
+use trisolve_gpu_sim::{
+    timing, CostCounters, DeviceSpec, Gpu, LaunchConfig, OutMode, SimError,
+};
+
+fn devices() -> Vec<DeviceSpec> {
+    DeviceSpec::paper_devices()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn residency_never_exceeds_device_limits(
+        dev_idx in 0usize..3,
+        grid in 1usize..10_000,
+        threads in 1usize..1024,
+        shmem in 0usize..64 * 1024,
+        regs in 0usize..64,
+    ) {
+        let dev = &devices()[dev_idx];
+        let cfg = LaunchConfig::new("p", grid, threads)
+            .with_shared_mem(shmem)
+            .with_regs(regs);
+        match timing::residency(dev, &cfg) {
+            Ok(r) => {
+                let q = dev.queryable();
+                prop_assert!(r.blocks_per_sm >= 1);
+                prop_assert!(r.blocks_per_sm <= q.max_blocks_per_sm);
+                prop_assert!(r.blocks_per_sm * threads <= q.max_threads_per_sm);
+                if shmem > 0 {
+                    prop_assert!(r.blocks_per_sm * shmem <= q.shared_mem_per_sm_bytes);
+                }
+                if regs > 0 {
+                    prop_assert!(r.blocks_per_sm * regs * threads <= q.registers_per_sm);
+                }
+            }
+            Err(SimError::LaunchTooLarge { .. }) | Err(SimError::InvalidLaunch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_every_counter(
+        dev_idx in 0usize..3,
+        base_ops in 0.0f64..1e6,
+        extra in 1.0f64..1e6,
+        field in 0usize..5,
+    ) {
+        let dev = &devices()[dev_idx];
+        let cfg = LaunchConfig::new("m", 64, 128).with_regs(16);
+        let mk = |boost: f64| {
+            let mut c = CostCounters {
+                thread_ops: base_ops,
+                smem_accesses: base_ops / 2.0,
+                gmem_read_bytes: base_ops,
+                gmem_txn_bytes: base_ops,
+                gmem_warp_txns: base_ops / 32.0,
+                barriers: 4.0,
+                ..Default::default()
+            };
+            match field {
+                0 => c.thread_ops += boost,
+                1 => c.smem_accesses += boost,
+                2 => c.gmem_txn_bytes += boost,
+                3 => c.gmem_warp_txns += boost,
+                _ => c.barriers += boost,
+            }
+            c
+        };
+        let t0 = timing::kernel_time(dev, &cfg, &vec![mk(0.0); 64]).unwrap();
+        let t1 = timing::kernel_time(dev, &cfg, &vec![mk(extra); 64]).unwrap();
+        prop_assert!(
+            t1.exec_time_s >= t0.exec_time_s,
+            "field {field}: {:.3e} < {:.3e}",
+            t1.exec_time_s,
+            t0.exec_time_s
+        );
+    }
+
+    #[test]
+    fn more_blocks_of_same_work_never_faster(
+        dev_idx in 0usize..3,
+        grid in 1usize..256,
+    ) {
+        let dev = &devices()[dev_idx];
+        let cfg = |g: usize| LaunchConfig::new("g", g, 128).with_regs(16);
+        let per_block = CostCounters {
+            thread_ops: 10_000.0,
+            gmem_txn_bytes: 10_000.0,
+            ..Default::default()
+        };
+        let t_small = timing::kernel_time(dev, &cfg(grid), &vec![per_block; grid]).unwrap();
+        let t_big =
+            timing::kernel_time(dev, &cfg(grid * 2), &vec![per_block; grid * 2]).unwrap();
+        prop_assert!(t_big.exec_time_s >= t_small.exec_time_s * 0.999);
+    }
+
+    #[test]
+    fn alloc_free_accounting_balances(sizes in prop::collection::vec(1usize..10_000, 1..20)) {
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        let ids: Vec<_> = sizes.iter().map(|&s| gpu.alloc(s).unwrap()).collect();
+        let expected: usize = sizes.iter().map(|s| s * 4).sum();
+        prop_assert_eq!(gpu.allocated_bytes(), expected);
+        for id in ids {
+            gpu.free(id).unwrap();
+        }
+        prop_assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn chunked_copy_kernel_is_deterministic(
+        n_log2 in 4u32..12,
+        threads in 1usize..256,
+    ) {
+        let n = 1usize << n_log2;
+        let chunk = (n / 4).max(1);
+        let grid = n / chunk;
+        let run = || {
+            let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+            let src = gpu
+                .alloc_from(&(0..n).map(|i| i as f32).collect::<Vec<_>>())
+                .unwrap();
+            let dst = gpu.alloc(n).unwrap();
+            let cfg = LaunchConfig::new("copy", grid, threads.min(512)).with_regs(8);
+            gpu.launch(&cfg, &[src], &[(dst, OutMode::Chunked { chunk })], |ctx, io| {
+                let b = ctx.block_id as usize;
+                let len = io.owned[0].len();
+                io.owned[0].copy_from_slice(&io.inputs[0][b * chunk..b * chunk + len]);
+                ctx.gmem_read(len, 1);
+                ctx.gmem_write(len, 1);
+            })
+            .unwrap();
+            (gpu.download(dst).unwrap(), gpu.elapsed_s())
+        };
+        let (d1, t1) = run();
+        let (d2, t2) = run();
+        prop_assert_eq!(d1.clone(), d2);
+        prop_assert_eq!(t1, t2);
+        for (i, v) in d1.iter().enumerate() {
+            prop_assert_eq!(*v, i as f32);
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! General banded and block-tridiagonal solvers — the paper's §VII future
+//! work ("the next challenge in this specific application domain is
+//! high-performance blocked tridiagonal solvers and optimized banded
+//! solvers"), provided here as CPU reference implementations.
+//!
+//! * [`BandedMatrix`] + [`solve_banded`] — LAPACK-`gbsv`-style banded LU
+//!   with partial pivoting (fill-in bounded by `kl` extra superdiagonals);
+//! * [`solve_pentadiagonal`] — the five-diagonal convenience wrapper;
+//! * [`BlockTridiagonalSystem`] + [`solve_block_thomas`] — block Thomas
+//!   with small dense LU block kernels.
+
+use crate::dense::{DenseLu, DenseMatrix};
+use crate::error::SolverError;
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+use crate::Result;
+
+/// A square banded matrix with `kl` sub-diagonals and `ku` super-diagonals,
+/// stored by row windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedMatrix<T: Scalar> {
+    /// Dimension.
+    pub n: usize,
+    /// Sub-diagonals.
+    pub kl: usize,
+    /// Super-diagonals.
+    pub ku: usize,
+    /// Row-window storage: row `i` occupies `width()` slots covering columns
+    /// `i-kl ..= i+ku` (out-of-matrix slots are zero).
+    data: Vec<T>,
+}
+
+impl<T: Scalar> BandedMatrix<T> {
+    /// Zero banded matrix.
+    pub fn zeros(n: usize, kl: usize, ku: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SolverError::EmptySystem);
+        }
+        Ok(Self {
+            n,
+            kl,
+            ku,
+            data: vec![T::ZERO; n * (kl + ku + 1)],
+        })
+    }
+
+    /// Stored band width per row.
+    pub fn width(&self) -> usize {
+        self.kl + self.ku + 1
+    }
+
+    #[inline]
+    fn slot(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = i.saturating_sub(self.kl);
+        let hi = (i + self.ku).min(self.n - 1);
+        if j < lo || j > hi {
+            None
+        } else {
+            Some(i * self.width() + (j + self.kl - i))
+        }
+    }
+
+    /// Entry `(i, j)` (zero outside the band).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.slot(i, j).map_or(T::ZERO, |s| self.data[s])
+    }
+
+    /// Set entry `(i, j)`. Fails if outside the band.
+    pub fn set(&mut self, i: usize, j: usize, v: T) -> Result<()> {
+        match self.slot(i, j) {
+            Some(s) => {
+                self.data[s] = v;
+                Ok(())
+            }
+            None => Err(SolverError::InvalidParameter {
+                name: "(i, j)",
+                detail: format!(
+                    "({i}, {j}) outside the band of a {}x{} kl={} ku={} matrix",
+                    self.n, self.n, self.kl, self.ku
+                ),
+            }),
+        }
+    }
+
+    /// Lift a tridiagonal system's matrix into banded form (`kl = ku = 1`).
+    pub fn from_tridiagonal(sys: &TridiagonalSystem<T>) -> Result<Self> {
+        let n = sys.len();
+        let mut m = Self::zeros(n, 1, 1)?;
+        for i in 0..n {
+            if i > 0 {
+                m.set(i, i - 1, sys.a[i])?;
+            }
+            m.set(i, i, sys.b[i])?;
+            if i + 1 < n {
+                m.set(i, i + 1, sys.c[i])?;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Banded matrix–vector product.
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>> {
+        if x.len() != self.n {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("x has {} entries, matrix is {}", x.len(), self.n),
+            });
+        }
+        let mut y = vec![T::ZERO; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = i.saturating_sub(self.kl);
+            let hi = (i + self.ku).min(self.n - 1);
+            let mut acc = T::ZERO;
+            for (j, xj) in x.iter().enumerate().take(hi + 1).skip(lo) {
+                acc += self.get(i, j) * *xj;
+            }
+            *yi = acc;
+        }
+        Ok(y)
+    }
+
+    /// Densify (test oracle; `O(n²)` memory).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.n);
+        for i in 0..self.n {
+            let lo = i.saturating_sub(self.kl);
+            let hi = (i + self.ku).min(self.n - 1);
+            for j in lo..=hi {
+                d[(i, j)] = self.get(i, j);
+            }
+        }
+        d
+    }
+}
+
+/// Solve `A·x = d` for a banded `A` by LU with partial pivoting
+/// (LAPACK-`gbsv` style: the factorisation carries `kl` fill-in
+/// superdiagonals, and pivoting searches the `kl` rows below the diagonal).
+///
+/// ```
+/// use trisolve_tridiag::banded::{solve_banded, BandedMatrix};
+///
+/// // A small pentadiagonal system with a known diagonal solve.
+/// let mut a = BandedMatrix::zeros(4, 2, 2)?;
+/// for i in 0..4 {
+///     a.set(i, i, 2.0)?;
+/// }
+/// let x = solve_banded(&a, &[2.0, 4.0, 6.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+/// # Ok::<(), trisolve_tridiag::SolverError>(())
+/// ```
+pub fn solve_banded<T: Scalar>(a: &BandedMatrix<T>, d: &[T]) -> Result<Vec<T>> {
+    let n = a.n;
+    if d.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            detail: format!("rhs has {} entries, matrix is {n}", d.len()),
+        });
+    }
+    let (kl, ku) = (a.kl, a.ku);
+    // Working band in column-window storage: column j holds rows
+    // j-ku-kl ..= j+kl at positions (i - j + ku + kl).
+    let wh = 2 * kl + ku + 1;
+    let mut ab = vec![T::ZERO; wh * n];
+    let idx = |i: usize, j: usize| -> usize { j * wh + (i + ku + kl - j) };
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let lo = i.saturating_sub(kl);
+        let hi = (i + ku).min(n - 1);
+        for j in lo..=hi {
+            ab[idx(i, j)] = a.get(i, j);
+        }
+    }
+    let mut x = d.to_vec();
+
+    for k in 0..n {
+        // Pivot among rows k ..= min(k+kl, n-1) in column k.
+        let last = (k + kl).min(n - 1);
+        let mut p = k;
+        let mut best = ab[idx(k, k)].abs();
+        for i in k + 1..=last {
+            let v = ab[idx(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        let mag = best.to_f64();
+        if !mag.is_finite() || mag == 0.0 {
+            return Err(SolverError::ZeroPivot {
+                row: k,
+                magnitude: mag,
+            });
+        }
+        let jmax = (k + ku + kl).min(n - 1);
+        if p != k {
+            for j in k..=jmax {
+                ab.swap(idx(k, j), idx(p, j));
+            }
+            x.swap(k, p);
+        }
+        let pivot = ab[idx(k, k)];
+        for i in k + 1..=last {
+            let m = ab[idx(i, k)] / pivot;
+            if m != T::ZERO {
+                for j in k + 1..=jmax {
+                    let ukj = ab[idx(k, j)];
+                    ab[idx(i, j)] -= m * ukj;
+                }
+                let xk = x[k];
+                x[i] -= m * xk;
+            }
+        }
+    }
+
+    // Back substitution against U (bandwidth ku + kl).
+    for i in (0..n).rev() {
+        let hi = (i + ku + kl).min(n - 1);
+        let mut acc = x[i];
+        for j in i + 1..=hi {
+            acc -= ab[idx(i, j)] * x[j];
+        }
+        x[i] = acc / ab[idx(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solve a pentadiagonal system given its five diagonals
+/// (`a2` second sub, `a1` first sub, `b` main, `c1` first super, `c2`
+/// second super; out-of-range leading/trailing entries must be zero).
+pub fn solve_pentadiagonal<T: Scalar>(
+    a2: &[T],
+    a1: &[T],
+    b: &[T],
+    c1: &[T],
+    c2: &[T],
+    d: &[T],
+) -> Result<Vec<T>> {
+    let n = b.len();
+    let mut m = BandedMatrix::zeros(n, 2, 2)?;
+    for i in 0..n {
+        if i >= 2 {
+            m.set(i, i - 2, a2[i])?;
+        }
+        if i >= 1 {
+            m.set(i, i - 1, a1[i])?;
+        }
+        m.set(i, i, b[i])?;
+        if i + 1 < n {
+            m.set(i, i + 1, c1[i])?;
+        }
+        if i + 2 < n {
+            m.set(i, i + 2, c2[i])?;
+        }
+    }
+    solve_banded(&m, d)
+}
+
+// ---------------------------------------------------------------------------
+// Block tridiagonal
+// ---------------------------------------------------------------------------
+
+/// A block-tridiagonal system: `num_blocks` diagonal blocks of size
+/// `block × block`, with sub-/super-diagonal coupling blocks.
+///
+/// `A[i]·X[i-1] + B[i]·X[i] + C[i]·X[i+1] = D[i]` with `A[0]` and
+/// `C[last]` ignored.
+#[derive(Debug, Clone)]
+pub struct BlockTridiagonalSystem<T: Scalar> {
+    /// Number of block rows.
+    pub num_blocks: usize,
+    /// Block dimension.
+    pub block: usize,
+    /// Sub-diagonal blocks (`a[0]` unused).
+    pub a: Vec<DenseMatrix<T>>,
+    /// Diagonal blocks.
+    pub b: Vec<DenseMatrix<T>>,
+    /// Super-diagonal blocks (`c[last]` unused).
+    pub c: Vec<DenseMatrix<T>>,
+    /// Right-hand side, length `num_blocks * block`.
+    pub d: Vec<T>,
+}
+
+impl<T: Scalar> BlockTridiagonalSystem<T> {
+    /// Validate shapes.
+    pub fn validate(&self) -> Result<()> {
+        let (m, s) = (self.num_blocks, self.block);
+        if m == 0 || s == 0 {
+            return Err(SolverError::EmptySystem);
+        }
+        if self.a.len() != m || self.b.len() != m || self.c.len() != m {
+            return Err(SolverError::DimensionMismatch {
+                detail: "block diagonals must all have num_blocks entries".into(),
+            });
+        }
+        if self.d.len() != m * s {
+            return Err(SolverError::DimensionMismatch {
+                detail: format!("rhs has {} entries, expected {}", self.d.len(), m * s),
+            });
+        }
+        for blk in self.a.iter().chain(&self.b).chain(&self.c) {
+            if blk.n != s {
+                return Err(SolverError::DimensionMismatch {
+                    detail: format!("block of size {} in a block-{s} system", blk.n),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble into a banded matrix (bandwidth `2·block − 1` each side) —
+    /// the oracle the block solver is verified against.
+    pub fn to_banded(&self) -> Result<BandedMatrix<T>> {
+        self.validate()?;
+        let (m, s) = (self.num_blocks, self.block);
+        let band = 2 * s - 1;
+        let mut out = BandedMatrix::zeros(m * s, band, band)?;
+        for blk in 0..m {
+            for r in 0..s {
+                for cidx in 0..s {
+                    let i = blk * s + r;
+                    out.set(i, blk * s + cidx, self.b[blk][(r, cidx)])?;
+                    if blk > 0 {
+                        let v = self.a[blk][(r, cidx)];
+                        if v != T::ZERO {
+                            out.set(i, (blk - 1) * s + cidx, v)?;
+                        }
+                    }
+                    if blk + 1 < m {
+                        let v = self.c[blk][(r, cidx)];
+                        if v != T::ZERO {
+                            out.set(i, (blk + 1) * s + cidx, v)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solve a block-tridiagonal system with block Thomas (block forward
+/// elimination + back substitution, dense LU per diagonal block).
+pub fn solve_block_thomas<T: Scalar>(sys: &BlockTridiagonalSystem<T>) -> Result<Vec<T>> {
+    sys.validate()?;
+    let (m, s) = (sys.num_blocks, sys.block);
+
+    // Forward sweep: cp[i] = (B[i] - A[i]·cp[i-1])⁻¹ · C[i]
+    //                dp[i] = (B[i] - A[i]·cp[i-1])⁻¹ · (D[i] - A[i]·dp[i-1])
+    let mut cp: Vec<DenseMatrix<T>> = Vec::with_capacity(m);
+    let mut dp: Vec<Vec<T>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut beta = sys.b[i].clone();
+        let mut rhs = sys.d[i * s..(i + 1) * s].to_vec();
+        if i > 0 {
+            // beta -= A[i]·cp[i-1]; rhs -= A[i]·dp[i-1]
+            let prod = sys.a[i].matmul(&cp[i - 1]);
+            for k in 0..s * s {
+                beta.data[k] -= prod.data[k];
+            }
+            let adp = sys.a[i].matvec(&dp[i - 1]);
+            for k in 0..s {
+                rhs[k] -= adp[k];
+            }
+        }
+        let lu = DenseLu::factor(beta)?;
+        let mut cnew = if i + 1 < m {
+            sys.c[i].clone()
+        } else {
+            DenseMatrix::zeros(s)
+        };
+        lu.solve_matrix(&mut cnew);
+        lu.solve_in_place(&mut rhs);
+        cp.push(cnew);
+        dp.push(rhs);
+    }
+
+    // Back substitution: X[i] = dp[i] - cp[i]·X[i+1].
+    let mut x = vec![T::ZERO; m * s];
+    x[(m - 1) * s..].copy_from_slice(&dp[m - 1]);
+    for i in (0..m - 1).rev() {
+        let xnext = x[(i + 1) * s..(i + 2) * s].to_vec();
+        let corr = cp[i].matvec(&xnext);
+        for k in 0..s {
+            x[i * s + k] = dp[i][k] - corr[k];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::solve_dense;
+    use crate::lu::solve_lu;
+    use crate::workloads::{random_dominant, WorkloadShape};
+    use rand::distributions::{Distribution, Uniform};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_banded(n: usize, kl: usize, ku: usize, seed: u64) -> BandedMatrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = Uniform::new(-1.0f64, 1.0);
+        let mut m = BandedMatrix::zeros(n, kl, ku).unwrap();
+        for i in 0..n {
+            let lo = i.saturating_sub(kl);
+            let hi = (i + ku).min(n - 1);
+            for j in lo..=hi {
+                let v = if i == j {
+                    u.sample(&mut rng) + (kl + ku + 2) as f64 // dominant-ish
+                } else {
+                    u.sample(&mut rng)
+                };
+                m.set(i, j, v).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn get_set_respect_band() {
+        let mut m = BandedMatrix::<f64>::zeros(6, 1, 2).unwrap();
+        m.set(2, 1, 5.0).unwrap();
+        m.set(2, 4, 7.0).unwrap();
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.get(2, 4), 7.0);
+        assert_eq!(m.get(2, 0), 0.0); // outside band reads zero
+        assert!(m.set(2, 0, 1.0).is_err()); // ... and cannot be written
+        assert!(m.set(0, 3, 1.0).is_err());
+    }
+
+    #[test]
+    fn banded_matches_dense_oracle() {
+        for (n, kl, ku, seed) in [(8usize, 1usize, 1usize, 1u64), (20, 2, 3, 2), (50, 4, 2, 3)] {
+            let m = random_banded(n, kl, ku, seed);
+            let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let x_band = solve_banded(&m, &d).unwrap();
+            let x_dense = solve_dense(&m.to_dense(), &d).unwrap();
+            for (u, v) in x_band.iter().zip(&x_dense) {
+                assert!((u - v).abs() < 1e-9, "n={n} kl={kl} ku={ku}");
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_case_matches_gtsv() {
+        let batch = random_dominant::<f64>(WorkloadShape::new(1, 64), 9).unwrap();
+        let sys = batch.system(0).unwrap();
+        let banded = BandedMatrix::from_tridiagonal(&sys).unwrap();
+        let x_band = solve_banded(&banded, &sys.d).unwrap();
+        let x_lu = solve_lu(&sys).unwrap();
+        for (u, v) in x_band.iter().zip(&x_lu) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_required_case() {
+        // Zero leading diagonal entry: unpivoted elimination would die.
+        let mut m = BandedMatrix::<f64>::zeros(3, 1, 1).unwrap();
+        m.set(0, 0, 0.0).unwrap();
+        m.set(0, 1, 1.0).unwrap();
+        m.set(1, 0, 2.0).unwrap();
+        m.set(1, 1, 1.0).unwrap();
+        m.set(1, 2, 1.0).unwrap();
+        m.set(2, 1, 1.0).unwrap();
+        m.set(2, 2, 3.0).unwrap();
+        let d = vec![1.0, 2.0, 3.0];
+        let x = solve_banded(&m, &d).unwrap();
+        let y = m.matvec(&x).unwrap();
+        for (u, v) in y.iter().zip(&d) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_banded_rejected() {
+        let mut m = BandedMatrix::<f64>::zeros(2, 1, 1).unwrap();
+        m.set(0, 0, 1.0).unwrap();
+        m.set(0, 1, 1.0).unwrap();
+        m.set(1, 0, 1.0).unwrap();
+        m.set(1, 1, 1.0).unwrap();
+        assert!(matches!(
+            solve_banded(&m, &[1.0, 1.0]),
+            Err(SolverError::ZeroPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn pentadiagonal_biharmonic() {
+        // The 1-D biharmonic stencil [1, -4, 6, -4, 1] + shift: a classic
+        // pentadiagonal system (fourth-order operator).
+        let n = 64;
+        let mut a2 = vec![1.0; n];
+        let mut a1 = vec![-4.0; n];
+        let b = vec![6.5; n];
+        let mut c1 = vec![-4.0; n];
+        let mut c2 = vec![1.0; n];
+        a2[0] = 0.0;
+        a2[1] = 0.0;
+        a1[0] = 0.0;
+        c1[n - 1] = 0.0;
+        c2[n - 1] = 0.0;
+        c2[n - 2] = 0.0;
+        let d: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x = solve_pentadiagonal(&a2, &a1, &b, &c1, &c2, &d).unwrap();
+
+        // Verify via the banded matvec.
+        let mut m = BandedMatrix::zeros(n, 2, 2).unwrap();
+        for i in 0..n {
+            if i >= 2 {
+                m.set(i, i - 2, a2[i]).unwrap();
+            }
+            if i >= 1 {
+                m.set(i, i - 1, a1[i]).unwrap();
+            }
+            m.set(i, i, b[i]).unwrap();
+            if i + 1 < n {
+                m.set(i, i + 1, c1[i]).unwrap();
+            }
+            if i + 2 < n {
+                m.set(i, i + 2, c2[i]).unwrap();
+            }
+        }
+        let y = m.matvec(&x).unwrap();
+        for (u, v) in y.iter().zip(&d) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    fn random_block_system(m: usize, s: usize, seed: u64) -> BlockTridiagonalSystem<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = Uniform::new(-1.0f64, 1.0);
+        let mut mk = |dominant: bool| {
+            let mut blk = DenseMatrix::zeros(s);
+            for r in 0..s {
+                for c in 0..s {
+                    blk[(r, c)] = u.sample(&mut rng);
+                }
+                if dominant {
+                    blk[(r, r)] += 4.0 * s as f64;
+                }
+            }
+            blk
+        };
+        let a: Vec<_> = (0..m).map(|_| mk(false)).collect();
+        let b: Vec<_> = (0..m).map(|_| mk(true)).collect();
+        let c: Vec<_> = (0..m).map(|_| mk(false)).collect();
+        let d: Vec<f64> = (0..m * s).map(|_| u.sample(&mut rng)).collect();
+        BlockTridiagonalSystem {
+            num_blocks: m,
+            block: s,
+            a,
+            b,
+            c,
+            d,
+        }
+    }
+
+    #[test]
+    fn block_thomas_matches_banded_oracle() {
+        for (m, s, seed) in [(4usize, 2usize, 1u64), (8, 3, 2), (16, 4, 3)] {
+            let sys = random_block_system(m, s, seed);
+            let x_block = solve_block_thomas(&sys).unwrap();
+            let banded = sys.to_banded().unwrap();
+            let x_band = solve_banded(&banded, &sys.d).unwrap();
+            for (u, v) in x_block.iter().zip(&x_band) {
+                assert!((u - v).abs() < 1e-8, "m={m} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_one_reduces_to_scalar_thomas() {
+        let batch = random_dominant::<f64>(WorkloadShape::new(1, 32), 4).unwrap();
+        let t = batch.system(0).unwrap();
+        let n = t.len();
+        let scalar = |v: f64| DenseMatrix::from_rows(1, &[v]).unwrap();
+        let sys = BlockTridiagonalSystem {
+            num_blocks: n,
+            block: 1,
+            a: t.a.iter().map(|&v| scalar(v)).collect(),
+            b: t.b.iter().map(|&v| scalar(v)).collect(),
+            c: t.c.iter().map(|&v| scalar(v)).collect(),
+            d: t.d.clone(),
+        };
+        let x_block = solve_block_thomas(&sys).unwrap();
+        let x_ref = crate::thomas::solve_thomas(&t).unwrap();
+        for (u, v) in x_block.iter().zip(&x_ref) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn block_validation_catches_shape_errors() {
+        let mut sys = random_block_system(4, 2, 7);
+        sys.d.pop();
+        assert!(sys.validate().is_err());
+        let mut sys = random_block_system(4, 2, 7);
+        sys.b[2] = DenseMatrix::zeros(3);
+        assert!(sys.validate().is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Batched CPU solving — the Figure 8 baseline.
+//!
+//! The paper's CPU comparison runs the sequential MKL `gtsv` solver over many
+//! systems, parallelised at the *system* level with OpenMP (two threads on
+//! the Core i5). The analogues here:
+//!
+//! * [`solve_batch_sequential`] — one thread, LU per system (MKL 1-thread);
+//! * [`solve_batch_parallel`] — Rayon over systems (OpenMP analogue);
+//! * [`solve_batch_scoped`] — fixed thread count via crossbeam scoped
+//!   threads, matching the paper's "two-threaded implementation on two CPU
+//!   cores" precisely.
+//!
+//! These produce *real* wall-clock numbers; the simulated-time CPU model used
+//! for Figure 8 lives in `trisolve-gpu-sim::cpu`.
+
+use crate::lu::{self, LuWorkspace};
+use crate::scalar::Scalar;
+use crate::system::SystemBatch;
+use crate::thomas;
+use crate::Result;
+use rayon::prelude::*;
+
+/// Which per-system algorithm the batch drivers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchAlgorithm {
+    /// LU with partial pivoting (the MKL `gtsv` analogue). Default.
+    #[default]
+    Lu,
+    /// Thomas (fastest, requires dominance).
+    Thomas,
+}
+
+/// Solve every system of a batch sequentially on the calling thread.
+pub fn solve_batch_sequential<T: Scalar>(
+    batch: &SystemBatch<T>,
+    algo: BatchAlgorithm,
+) -> Result<Vec<T>> {
+    let n = batch.system_size;
+    let mut x = vec![T::ZERO; batch.total_equations()];
+    let mut work = LuWorkspace::with_capacity(n);
+    let mut cp = vec![T::ZERO; n];
+    let mut dp = vec![T::ZERO; n];
+    for s in 0..batch.num_systems {
+        let r = s * n..(s + 1) * n;
+        match algo {
+            BatchAlgorithm::Lu => {
+                let sys = batch.system(s)?;
+                lu::solve_lu_with(&sys, &mut work)?;
+                x[r].copy_from_slice(&work.x);
+            }
+            BatchAlgorithm::Thomas => {
+                thomas::solve_thomas_into(
+                    &batch.a[r.clone()],
+                    &batch.b[r.clone()],
+                    &batch.c[r.clone()],
+                    &batch.d[r.clone()],
+                    &mut cp,
+                    &mut dp,
+                )?;
+                x[r].copy_from_slice(&dp);
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// Solve every system of a batch in parallel with Rayon (system-level
+/// parallelism, like the paper's OpenMP driver).
+pub fn solve_batch_parallel<T: Scalar>(
+    batch: &SystemBatch<T>,
+    algo: BatchAlgorithm,
+) -> Result<Vec<T>> {
+    let n = batch.system_size;
+    let mut x = vec![T::ZERO; batch.total_equations()];
+    let results: Vec<Result<()>> = x
+        .par_chunks_mut(n)
+        .enumerate()
+        .map(|(s, out)| {
+            solve_one_into(batch, s, algo, out)
+        })
+        .collect();
+    for r in results {
+        r?;
+    }
+    Ok(x)
+}
+
+/// Solve with exactly `threads` OS threads via crossbeam's scoped threads —
+/// the precise analogue of the paper's two-thread OpenMP setup.
+pub fn solve_batch_scoped<T: Scalar>(
+    batch: &SystemBatch<T>,
+    algo: BatchAlgorithm,
+    threads: usize,
+) -> Result<Vec<T>> {
+    assert!(threads >= 1, "need at least one thread");
+    let n = batch.system_size;
+    let mut x = vec![T::ZERO; batch.total_equations()];
+    let chunk_systems = batch.num_systems.div_ceil(threads);
+    let chunk_len = chunk_systems * n;
+
+    let errors: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, out) in x.chunks_mut(chunk_len).enumerate() {
+            handles.push(scope.spawn(move |_| -> Result<()> {
+                let first = t * chunk_systems;
+                for (k, chunk) in out.chunks_mut(n).enumerate() {
+                    solve_one_into(batch, first + k, algo, chunk)?;
+                }
+                Ok(())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("scoped threads panicked");
+    for e in errors {
+        e?;
+    }
+    Ok(x)
+}
+
+fn solve_one_into<T: Scalar>(
+    batch: &SystemBatch<T>,
+    s: usize,
+    algo: BatchAlgorithm,
+    out: &mut [T],
+) -> Result<()> {
+    let n = batch.system_size;
+    let r = s * n..(s + 1) * n;
+    match algo {
+        BatchAlgorithm::Lu => {
+            let sys = batch.system(s)?;
+            let mut work = LuWorkspace::with_capacity(n);
+            lu::solve_lu_with(&sys, &mut work)?;
+            out.copy_from_slice(&work.x);
+        }
+        BatchAlgorithm::Thomas => {
+            let mut cp = vec![T::ZERO; n];
+            let mut dp = vec![T::ZERO; n];
+            thomas::solve_thomas_into(
+                &batch.a[r.clone()],
+                &batch.b[r.clone()],
+                &batch.c[r.clone()],
+                &batch.d[r],
+                &mut cp,
+                &mut dp,
+            )?;
+            out.copy_from_slice(&dp);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::batch_worst_relative_residual;
+    use crate::workloads::{random_dominant, WorkloadShape};
+
+    fn batch() -> SystemBatch<f64> {
+        random_dominant(WorkloadShape::new(13, 47), 99).unwrap()
+    }
+
+    #[test]
+    fn sequential_lu_solves_batch() {
+        let b = batch();
+        let x = solve_batch_sequential(&b, BatchAlgorithm::Lu).unwrap();
+        assert!(batch_worst_relative_residual(&b, &x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn sequential_thomas_solves_batch() {
+        let b = batch();
+        let x = solve_batch_sequential(&b, BatchAlgorithm::Thomas).unwrap();
+        assert!(batch_worst_relative_residual(&b, &x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let b = batch();
+        let xs = solve_batch_sequential(&b, BatchAlgorithm::Lu).unwrap();
+        let xp = solve_batch_parallel(&b, BatchAlgorithm::Lu).unwrap();
+        assert_eq!(xs, xp); // identical algorithm & order per system
+    }
+
+    #[test]
+    fn scoped_two_threads_matches_sequential() {
+        let b = batch();
+        let xs = solve_batch_sequential(&b, BatchAlgorithm::Lu).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let xt = solve_batch_scoped(&b, BatchAlgorithm::Lu, threads).unwrap();
+            assert_eq!(xs, xt, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_handles_more_threads_than_systems() {
+        let b = random_dominant::<f64>(WorkloadShape::new(2, 8), 1).unwrap();
+        let x = solve_batch_scoped(&b, BatchAlgorithm::Thomas, 16).unwrap();
+        assert!(batch_worst_relative_residual(&b, &x).unwrap() < 1e-10);
+    }
+}

@@ -1,0 +1,249 @@
+//! Cyclic reduction (CR) — forward reduction to a tiny system followed by
+//! back substitution. `O(n)` work, `2·log2(n)` steps, half the threads going
+//! idle at every level (the work-efficiency/step-efficiency tradeoff the
+//! paper discusses relative to PCR).
+//!
+//! Included both as an algorithm in its own right and as the front half of
+//! Zhang et al.'s CR-PCR hybrid, the prior-art baseline the paper's base
+//! kernel is compared against (§III-A).
+
+use crate::error::SolverError;
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+use crate::Result;
+
+/// The four coefficient arrays of one CR level.
+type Level<T> = (Vec<T>, Vec<T>, Vec<T>, Vec<T>);
+
+/// One level of CR forward reduction. Given the current system, produce the
+/// half-size system over the odd-indexed equations.
+pub(crate) fn cr_reduce_level<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &[T],
+    d: &[T],
+) -> Result<Level<T>> {
+    let n = b.len();
+    let m = n / 2;
+    let mut ra = vec![T::ZERO; m];
+    let mut rb = vec![T::ZERO; m];
+    let mut rc = vec![T::ZERO; m];
+    let mut rd = vec![T::ZERO; m];
+    for (j, i) in (1..n).step_by(2).enumerate() {
+        let bm = b[i - 1];
+        check_nonzero(bm, i - 1)?;
+        let k1 = a[i] / bm;
+        let (k2, ap, cp, dp, bp_ok) = if i + 1 < n {
+            let bp = b[i + 1];
+            check_nonzero(bp, i + 1)?;
+            (c[i] / bp, a[i + 1], c[i + 1], d[i + 1], true)
+        } else {
+            (T::ZERO, T::ZERO, T::ZERO, T::ZERO, false)
+        };
+        ra[j] = -(a[i - 1] * k1);
+        rb[j] = b[i] - c[i - 1] * k1 - if bp_ok { ap * k2 } else { T::ZERO };
+        rc[j] = if bp_ok { -(cp * k2) } else { T::ZERO };
+        rd[j] = d[i] - d[i - 1] * k1 - if bp_ok { dp * k2 } else { T::ZERO };
+    }
+    Ok((ra, rb, rc, rd))
+}
+
+/// Back-substitute one CR level: given the solutions of the odd-indexed
+/// equations (`x_half`), recover all `n` unknowns of the current level.
+pub(crate) fn cr_back_substitute<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &[T],
+    d: &[T],
+    x_half: &[T],
+) -> Result<Vec<T>> {
+    let n = b.len();
+    let mut x = vec![T::ZERO; n];
+    for (j, i) in (1..n).step_by(2).enumerate() {
+        x[i] = x_half[j];
+    }
+    for i in (0..n).step_by(2) {
+        check_nonzero(b[i], i)?;
+        let mut num = d[i];
+        if i > 0 {
+            num -= a[i] * x[i - 1];
+        }
+        if i + 1 < n {
+            num -= c[i] * x[i + 1];
+        }
+        x[i] = num / b[i];
+    }
+    Ok(x)
+}
+
+/// Solve a tridiagonal system with full cyclic reduction.
+pub fn solve_cr<T: Scalar>(sys: &TridiagonalSystem<T>) -> Result<Vec<T>> {
+    solve_cr_until(sys, 1, |a, b, _c, d, x| {
+        // Base case: systems of size <= 1 are a plain divide.
+        debug_assert!(b.len() <= 1);
+        if b.len() == 1 {
+            check_nonzero(b[0], 0)?;
+            x[0] = d[0] / b[0];
+        }
+        let _ = a;
+        Ok(())
+    })
+}
+
+/// CR forward-reduce until the remaining system has at most `threshold`
+/// equations, solve it with `base_solver`, then back-substitute.
+///
+/// This is the skeleton shared by full CR and the CR-PCR hybrid.
+pub fn solve_cr_until<T, F>(
+    sys: &TridiagonalSystem<T>,
+    threshold: usize,
+    base_solver: F,
+) -> Result<Vec<T>>
+where
+    T: Scalar,
+    F: Fn(&[T], &[T], &[T], &[T], &mut [T]) -> Result<()>,
+{
+    if threshold == 0 {
+        return Err(SolverError::InvalidParameter {
+            name: "threshold",
+            detail: "must be >= 1".into(),
+        });
+    }
+    let n = sys.len();
+    if n == 0 {
+        return Err(SolverError::EmptySystem);
+    }
+
+    // Record every level's coefficients for the back-substitution pass.
+    let mut levels: Vec<Level<T>> = vec![(
+        sys.a.clone(),
+        sys.b.clone(),
+        sys.c.clone(),
+        sys.d.clone(),
+    )];
+    while levels.last().unwrap().1.len() > threshold {
+        let (a, b, c, d) = levels.last().unwrap();
+        let reduced = cr_reduce_level(a, b, c, d)?;
+        if reduced.1.is_empty() {
+            break; // n == 1 at this level; base solver handles it.
+        }
+        levels.push(reduced);
+    }
+
+    // Solve the smallest level with the provided base solver.
+    let (la, lb, lc, ld) = levels.last().unwrap();
+    let mut x = vec![T::ZERO; lb.len()];
+    base_solver(la, lb, lc, ld, &mut x)?;
+
+    // Walk back up.
+    for lvl in (0..levels.len() - 1).rev() {
+        let (a, b, c, d) = &levels[lvl];
+        x = cr_back_substitute(a, b, c, d, &x)?;
+    }
+    Ok(x)
+}
+
+#[inline]
+fn check_nonzero<T: Scalar>(v: T, row: usize) -> Result<()> {
+    let mag = v.abs().to_f64();
+    if !mag.is_finite() || mag == 0.0 {
+        return Err(SolverError::ZeroPivot {
+            row,
+            magnitude: mag,
+        });
+    }
+    Ok(())
+}
+
+/// Floating-point cost of full CR on `n` equations (cost models): the
+/// reduction touches `n/2 + n/4 + …` rows at ~12 flops and back substitution
+/// ~5 flops per row.
+pub fn cr_flops(n: usize) -> usize {
+    17 * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thomas::solve_thomas;
+
+    fn dominant(n: usize) -> TridiagonalSystem<f64> {
+        let mut a = vec![-0.9; n];
+        let b = vec![2.5; n];
+        let mut c = vec![-1.1; n];
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let d: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) * 0.3 - 1.0).collect();
+        TridiagonalSystem::new(a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn matches_thomas_power_of_two() {
+        for n in [2usize, 4, 8, 64, 256, 1024] {
+            let sys = dominant(n);
+            let xt = solve_thomas(&sys).unwrap();
+            let xc = solve_cr(&sys).unwrap();
+            for (u, v) in xt.iter().zip(&xc) {
+                assert!((u - v).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_thomas_odd_sizes() {
+        for n in [1usize, 3, 5, 7, 17, 33, 100, 333, 1001] {
+            let sys = dominant(n);
+            let xt = solve_thomas(&sys).unwrap();
+            let xc = solve_cr(&sys).unwrap();
+            for (u, v) in xt.iter().zip(&xc) {
+                assert!((u - v).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_variants_agree() {
+        let sys = dominant(512);
+        let xt = solve_thomas(&sys).unwrap();
+        for threshold in [1usize, 2, 8, 32, 512] {
+            let x = solve_cr_until(&sys, threshold, |a, b, c, d, x| {
+                // Use Thomas as the base solver for the reduced system.
+                let sub = TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.to_vec())?;
+                let sol = solve_thomas(&sub)?;
+                x.copy_from_slice(&sol);
+                Ok(())
+            })
+            .unwrap();
+            for (u, v) in xt.iter().zip(&x) {
+                assert!((u - v).abs() < 1e-8, "threshold={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let sys = dominant(8);
+        assert!(matches!(
+            solve_cr_until(&sys, 0, |_, _, _, _, _| Ok(())),
+            Err(SolverError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let sys = TridiagonalSystem::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!(solve_cr(&sys).is_err());
+    }
+
+    #[test]
+    fn flops_model() {
+        assert_eq!(cr_flops(0), 0);
+        assert!(cr_flops(1024) < crate::pcr::pcr_flops(1024, 10));
+    }
+}

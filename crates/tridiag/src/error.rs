@@ -1,0 +1,97 @@
+//! Error type shared by every solver in the workspace.
+
+use std::fmt;
+
+/// Errors produced by tridiagonal solvers and the surrounding machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The four coefficient arrays do not have matching lengths.
+    DimensionMismatch {
+        /// Human-readable description of what mismatched.
+        detail: String,
+    },
+    /// A system of zero equations was supplied where at least one is needed.
+    EmptySystem,
+    /// `a[0]` or `c[n-1]` was nonzero, violating the storage convention.
+    MalformedBoundary {
+        /// Which end of the system is malformed.
+        detail: String,
+    },
+    /// Elimination hit a pivot too small to divide by (matrix singular or
+    /// nearly so for the pivot-free algorithm in use).
+    ZeroPivot {
+        /// Row index at which elimination broke down.
+        row: usize,
+        /// Magnitude of the offending pivot.
+        magnitude: f64,
+    },
+    /// A non-finite value (NaN/inf) appeared in the inputs.
+    NonFiniteInput {
+        /// Index of the first offending element.
+        index: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            SolverError::EmptySystem => write!(f, "system has zero equations"),
+            SolverError::MalformedBoundary { detail } => {
+                write!(f, "malformed boundary coefficients: {detail}")
+            }
+            SolverError::ZeroPivot { row, magnitude } => write!(
+                f,
+                "zero (or near-zero) pivot at row {row} (|pivot| = {magnitude:.3e})"
+            ),
+            SolverError::NonFiniteInput { index } => {
+                write!(f, "non-finite input value at index {index}")
+            }
+            SolverError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SolverError::ZeroPivot {
+            row: 7,
+            magnitude: 1e-30,
+        };
+        let s = e.to_string();
+        assert!(s.contains("row 7"));
+        assert!(s.contains("pivot"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SolverError::EmptySystem, SolverError::EmptySystem);
+        assert_ne!(
+            SolverError::EmptySystem,
+            SolverError::NonFiniteInput { index: 0 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SolverError::EmptySystem);
+        assert!(e.to_string().contains("zero equations"));
+    }
+}

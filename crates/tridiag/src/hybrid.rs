@@ -1,0 +1,174 @@
+//! Hybrid solvers: the paper's **PCR-Thomas** (reference formulation of the
+//! base kernel, §III-A) and Zhang et al.'s **CR-PCR** (the prior-art hybrid
+//! the paper compares against).
+//!
+//! Both trade step efficiency against work efficiency:
+//!
+//! | Algorithm  | Work          | Steps        |
+//! |------------|---------------|--------------|
+//! | Thomas     | `O(n)`        | `O(n)`       |
+//! | CR         | `O(n)`        | `2·log2 n`   |
+//! | PCR        | `O(n log n)`  | `log2 n`     |
+//! | PCR-Thomas | `O(n log k + n²/k · k) = O(n log k + n)` | `log2 k + n/k` |
+//! | CR-PCR     | `O(n)`-ish    | between CR and PCR |
+
+use crate::cr;
+use crate::error::SolverError;
+use crate::pcr;
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+use crate::thomas;
+use crate::Result;
+
+/// Solve with the paper's hybrid: PCR-split into `num_chains` independent
+/// subsystems (must be a power of two), then solve each chain with Thomas.
+///
+/// `num_chains` is exactly the paper's *stage-3→stage-4 switch point* — the
+/// number of subsystems handed to the Thomas phase (Figure 6's x-axis).
+pub fn solve_pcr_thomas<T: Scalar>(
+    sys: &TridiagonalSystem<T>,
+    num_chains: usize,
+) -> Result<Vec<T>> {
+    if num_chains == 0 || !num_chains.is_power_of_two() {
+        return Err(SolverError::InvalidParameter {
+            name: "num_chains",
+            detail: format!("{num_chains} must be a nonzero power of two"),
+        });
+    }
+    let steps = num_chains.trailing_zeros();
+    pcr::solve_pcr_then_thomas(sys, steps)
+}
+
+/// Solve with Zhang et al.'s hybrid: CR forward reduction until the system
+/// has at most `pcr_threshold` equations, pure PCR on the reduced system,
+/// then CR back substitution.
+pub fn solve_cr_pcr<T: Scalar>(
+    sys: &TridiagonalSystem<T>,
+    pcr_threshold: usize,
+) -> Result<Vec<T>> {
+    cr::solve_cr_until(sys, pcr_threshold, |a, b, c, d, x| {
+        let sub = TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.to_vec())?;
+        let sol = pcr::solve_pcr(&sub)?;
+        x.copy_from_slice(&sol);
+        Ok(())
+    })
+}
+
+/// Work model (thread-operations) of a PCR-Thomas solve of `n` equations
+/// switching at `num_chains` subsystems. Used by the on-chip stage of the
+/// GPU cost model and by the ablation bench.
+pub fn pcr_thomas_ops(n: usize, num_chains: usize) -> usize {
+    let steps = num_chains.trailing_zeros();
+    let chain_len = n.div_ceil(num_chains.max(1));
+    pcr::pcr_flops(n, steps) + num_chains * thomas::thomas_flops(chain_len)
+}
+
+/// Work model of Zhang's CR-PCR on `n` equations with PCR threshold `t`.
+pub fn cr_pcr_ops(n: usize, t: usize) -> usize {
+    // CR reduction/back-substitution over the levels above the threshold,
+    // then O(t log t) PCR work on the reduced system.
+    let mut ops = 0usize;
+    let mut len = n;
+    while len > t {
+        ops += 17 * len / 2; // reduce + back-sub contributions at this level
+        len /= 2;
+    }
+    ops + pcr::pcr_flops(len, pcr::ceil_log2(len.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thomas::solve_thomas;
+
+    fn dominant_f64(n: usize) -> TridiagonalSystem<f64> {
+        let mut a = vec![-1.0; n];
+        let b = vec![3.1; n];
+        let mut c = vec![-1.3; n];
+        a[0] = 0.0;
+        c[n - 1] = 0.0;
+        let d: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        TridiagonalSystem::new(a, b, c, d).unwrap()
+    }
+
+    fn dominant_f32(n: usize) -> TridiagonalSystem<f32> {
+        let s = dominant_f64(n);
+        TridiagonalSystem::new(
+            s.a.iter().map(|&v| v as f32).collect(),
+            s.b.iter().map(|&v| v as f32).collect(),
+            s.c.iter().map(|&v| v as f32).collect(),
+            s.d.iter().map(|&v| v as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pcr_thomas_matches_thomas_all_switch_points() {
+        let sys = dominant_f64(256);
+        let xt = solve_thomas(&sys).unwrap();
+        for k in [1usize, 2, 4, 16, 64, 128, 256] {
+            let x = solve_pcr_thomas(&sys, k).unwrap();
+            for (u, v) in xt.iter().zip(&x) {
+                assert!((u - v).abs() < 1e-8, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pcr_thomas_rejects_non_power_of_two() {
+        let sys = dominant_f64(64);
+        assert!(solve_pcr_thomas(&sys, 0).is_err());
+        assert!(solve_pcr_thomas(&sys, 3).is_err());
+        assert!(solve_pcr_thomas(&sys, 48).is_err());
+    }
+
+    #[test]
+    fn cr_pcr_matches_thomas() {
+        for n in [16usize, 64, 100, 512] {
+            let sys = dominant_f64(n);
+            let xt = solve_thomas(&sys).unwrap();
+            for t in [1usize, 4, 16, 64] {
+                let x = solve_cr_pcr(&sys, t).unwrap();
+                for (u, v) in xt.iter().zip(&x) {
+                    assert!((u - v).abs() < 1e-8, "n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_accuracy_is_acceptable() {
+        // f32 hybrid solve on a dominant system keeps ~5 digits.
+        let sys = dominant_f32(512);
+        let x = solve_pcr_thomas(&sys, 64).unwrap();
+        let y = sys.matvec(&x).unwrap();
+        for (yi, di) in y.iter().zip(&sys.d) {
+            assert!((yi - di).abs() < 1e-2, "f32 residual too large");
+        }
+    }
+
+    #[test]
+    fn work_model_monotone_in_chains() {
+        // More chains = more PCR steps = more work (the Figure 6 tradeoff).
+        let w64 = pcr_thomas_ops(1024, 64);
+        let w128 = pcr_thomas_ops(1024, 128);
+        let w256 = pcr_thomas_ops(1024, 256);
+        assert!(w64 < w128 && w128 < w256);
+    }
+
+    #[test]
+    fn pcr_thomas_cheaper_than_pure_pcr() {
+        let full_pcr = pcr::pcr_flops(1024, 10);
+        assert!(pcr_thomas_ops(1024, 64) < full_pcr);
+    }
+
+    #[test]
+    fn cr_pcr_work_between_cr_and_pcr() {
+        let n = 4096;
+        let cr_only = cr::cr_flops(n);
+        let pcr_only = pcr::pcr_flops(n, pcr::ceil_log2(n));
+        let hybrid = cr_pcr_ops(n, 64);
+        assert!(hybrid >= cr_only / 2, "hybrid {hybrid} vs cr {cr_only}");
+        assert!(hybrid < pcr_only, "hybrid {hybrid} vs pcr {pcr_only}");
+    }
+}

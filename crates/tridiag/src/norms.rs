@@ -1,0 +1,120 @@
+//! Error and residual norms used by the test suites and the experiment
+//! harness to validate every solver against every other.
+
+use crate::scalar::Scalar;
+use crate::system::{SystemBatch, TridiagonalSystem};
+use crate::Result;
+
+/// Maximum absolute residual `‖A·x − d‖∞` of a candidate solution.
+pub fn residual_linf<T: Scalar>(sys: &TridiagonalSystem<T>, x: &[T]) -> Result<f64> {
+    let y = sys.matvec(x)?;
+    Ok(y.iter()
+        .zip(&sys.d)
+        .map(|(yi, di)| (*yi - *di).abs().to_f64())
+        .fold(0.0, f64::max))
+}
+
+/// Relative residual: `‖A·x − d‖∞ / max(1, ‖d‖∞)`.
+pub fn relative_residual<T: Scalar>(sys: &TridiagonalSystem<T>, x: &[T]) -> Result<f64> {
+    let r = residual_linf(sys, x)?;
+    let dmax = sys
+        .d
+        .iter()
+        .map(|v| v.abs().to_f64())
+        .fold(0.0f64, f64::max);
+    Ok(r / dmax.max(1.0))
+}
+
+/// Maximum absolute component-wise difference between two vectors.
+pub fn max_abs_diff<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch in max_abs_diff");
+    x.iter()
+        .zip(y)
+        .map(|(u, v)| (*u - *v).abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error `‖x − y‖₂ / max(ε, ‖y‖₂)`.
+pub fn relative_l2_error<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch in relative_l2_error");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (u, v) in x.iter().zip(y) {
+        let d = (*u - *v).to_f64();
+        num += d * d;
+        let vv = v.to_f64();
+        den += vv * vv;
+    }
+    num.sqrt() / den.sqrt().max(f64::EPSILON)
+}
+
+/// Worst relative residual across every system of a batch given the batch's
+/// flat solution vector.
+pub fn batch_worst_relative_residual<T: Scalar>(
+    batch: &SystemBatch<T>,
+    x: &[T],
+) -> Result<f64> {
+    let n = batch.system_size;
+    let mut worst = 0.0f64;
+    for s in 0..batch.num_systems {
+        let sys = batch.system(s)?;
+        let r = relative_residual(&sys, &x[s * n..(s + 1) * n])?;
+        worst = worst.max(r);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::TridiagonalSystem;
+    use crate::thomas::solve_thomas;
+
+    fn sys() -> TridiagonalSystem<f64> {
+        TridiagonalSystem::new(
+            vec![0.0, -1.0, -1.0],
+            vec![4.0, 4.0, 4.0],
+            vec![-1.0, -1.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_tiny() {
+        let s = sys();
+        let x = solve_thomas(&s).unwrap();
+        assert!(residual_linf(&s, &x).unwrap() < 1e-12);
+        assert!(relative_residual(&s, &x).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_wrong_solution_is_large() {
+        let s = sys();
+        let bad = vec![10.0, 10.0, 10.0];
+        assert!(residual_linf(&s, &bad).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn diff_norms() {
+        let x = [1.0f64, 2.0, 3.0];
+        let y = [1.0f64, 2.5, 3.0];
+        assert_eq!(max_abs_diff(&x, &y), 0.5);
+        assert!(relative_l2_error(&x, &x) < 1e-15);
+        assert!(relative_l2_error(&x, &y) > 0.1);
+    }
+
+    #[test]
+    fn batch_residual_spots_one_bad_system() {
+        let s = sys();
+        let batch = crate::system::SystemBatch::replicate(&s, 3).unwrap();
+        let xs = solve_thomas(&s).unwrap();
+        let mut flat = Vec::new();
+        for _ in 0..3 {
+            flat.extend_from_slice(&xs);
+        }
+        assert!(batch_worst_relative_residual(&batch, &flat).unwrap() < 1e-12);
+        flat[4] += 1.0; // corrupt system 1
+        assert!(batch_worst_relative_residual(&batch, &flat).unwrap() > 0.1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Recursive doubling (Stone 1973) — the third classic parallel
+//! tridiagonal algorithm alongside CR and PCR (Hockney & Jesshope's survey,
+//! the paper's reference [11], treats all three). Included for substrate
+//! completeness and as another cross-check oracle.
+//!
+//! The Thomas elimination is re-expressed as three *scans*, each computed
+//! with pairwise doubling (`O(n log n)` work, `O(log n)` depth):
+//!
+//! 1. the pivots `w_i = θ_i / θ_{i-1}` from the leading-principal-minor
+//!    three-term recurrence `θ_i = b_i θ_{i-1} − a_i c_{i-1} θ_{i-2}`,
+//!    evaluated as a scan of 2×2 matrix products (normalised per
+//!    combination step so the minors never overflow — both components of a
+//!    pair share the scale, so the *ratio* `w_i` is exact);
+//! 2. the forward substitution `g_i = (d_i − a_i g_{i-1}) / w_i`, an affine
+//!    first-order recurrence scanned over the `(p, q) ∘ (p', q') =
+//!    (p·p', p·q' + q)` monoid;
+//! 3. the back substitution `x_i = g_i − (c_i / w_i)·x_{i+1}`, the same
+//!    monoid scanned in reverse.
+
+use crate::error::SolverError;
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+use crate::Result;
+
+/// Solve a tridiagonal system by recursive doubling.
+///
+/// Like Thomas/CR/PCR this is pivot-free: it requires the leading principal
+/// minors to be nonzero (guaranteed for diagonally dominant systems) and
+/// inherits recursive doubling's mild extra roundoff relative to Thomas.
+pub fn solve_recursive_doubling<T: Scalar>(sys: &TridiagonalSystem<T>) -> Result<Vec<T>> {
+    let n = sys.len();
+    if n == 0 {
+        return Err(SolverError::EmptySystem);
+    }
+
+    // ---- Scan 1: pivots from normalised 2x2 minor products. -------------
+    // M_i = [[b_i, -a_i * c_{i-1}], [1, 0]];  (θ_i, θ_{i-1})ᵀ = Π M · (1, 0)ᵀ.
+    let mats: Vec<[T; 4]> = (0..n)
+        .map(|i| {
+            let off = if i == 0 {
+                T::ZERO
+            } else {
+                sys.a[i] * sys.c[i - 1]
+            };
+            [sys.b[i], -off, T::ONE, T::ZERO]
+        })
+        .collect();
+    let prefix = scan_mat2(&mats);
+    let mut w = vec![T::ZERO; n];
+    for i in 0..n {
+        // P = prefix[i] maps (1, 0) to (θ_i, θ_{i-1}) up to a shared scale.
+        let theta_i = prefix[i][0];
+        let theta_im1 = prefix[i][2];
+        let mag = theta_i.abs().to_f64();
+        let denom = theta_im1.abs().to_f64();
+        if !mag.is_finite() || (i + 1 < n && mag == 0.0) || !denom.is_finite() {
+            return Err(SolverError::ZeroPivot {
+                row: i,
+                magnitude: mag,
+            });
+        }
+        if i == 0 {
+            w[0] = sys.b[0];
+        } else {
+            if denom == 0.0 {
+                return Err(SolverError::ZeroPivot {
+                    row: i,
+                    magnitude: denom,
+                });
+            }
+            w[i] = theta_i / theta_im1;
+        }
+    }
+    let last = w[n - 1].abs().to_f64();
+    if !last.is_finite() || last == 0.0 {
+        return Err(SolverError::ZeroPivot {
+            row: n - 1,
+            magnitude: last,
+        });
+    }
+
+    // ---- Scan 2: forward substitution as an affine scan. ----------------
+    // g_i = p_i * g_{i-1} + q_i with p_i = -a_i / w_{i-1}, q_i = d_i.
+    // (Thomas' forward pass on the RHS; dividing by w happens in scan 3.)
+    let fwd: Vec<(T, T)> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                (T::ZERO, sys.d[0])
+            } else {
+                (-(sys.a[i] / w[i - 1]), sys.d[i])
+            }
+        })
+        .collect();
+    let g = scan_affine(&fwd);
+
+    // ---- Scan 3: back substitution as a reverse affine scan. ------------
+    // x_i = (g_i / w_i) + (-c_i / w_i) * x_{i+1}.
+    let bwd: Vec<(T, T)> = (0..n)
+        .rev()
+        .map(|i| {
+            if i == n - 1 {
+                (T::ZERO, g[i] / w[i])
+            } else {
+                (-(sys.c[i] / w[i]), g[i] / w[i])
+            }
+        })
+        .collect();
+    let xr = scan_affine(&bwd);
+    let mut x = vec![T::ZERO; n];
+    for (k, v) in xr.into_iter().enumerate() {
+        x[n - 1 - k] = v;
+    }
+    for (i, v) in x.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(SolverError::ZeroPivot {
+                row: i,
+                magnitude: f64::NAN,
+            });
+        }
+    }
+    Ok(x)
+}
+
+/// Inclusive prefix "products" of 2×2 matrices by pairwise doubling, each
+/// stored product renormalised by its max-magnitude entry (the shared scale
+/// cancels in every ratio the caller takes).
+fn scan_mat2<T: Scalar>(mats: &[[T; 4]]) -> Vec<[T; 4]> {
+    let n = mats.len();
+    let mut cur: Vec<[T; 4]> = mats.iter().map(|m| normalize2(*m)).collect();
+    let mut step = 1usize;
+    while step < n {
+        let prev = cur.clone();
+        for i in step..n {
+            cur[i] = normalize2(mul2(prev[i], prev[i - step]));
+        }
+        step *= 2;
+    }
+    cur
+}
+
+fn mul2<T: Scalar>(a: [T; 4], b: [T; 4]) -> [T; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+fn normalize2<T: Scalar>(m: [T; 4]) -> [T; 4] {
+    let mut mx = T::ZERO;
+    for v in m {
+        mx = mx.max_s(v.abs());
+    }
+    if mx == T::ZERO {
+        return m;
+    }
+    [m[0] / mx, m[1] / mx, m[2] / mx, m[3] / mx]
+}
+
+/// Inclusive scan of affine maps `y_i = p_i · y_{i-1} + q_i` (with
+/// `y_{-1} = 0`) by pairwise doubling over the composition monoid.
+fn scan_affine<T: Scalar>(maps: &[(T, T)]) -> Vec<T> {
+    let n = maps.len();
+    let mut cur: Vec<(T, T)> = maps.to_vec();
+    let mut step = 1usize;
+    while step < n {
+        let prev = cur.clone();
+        for i in step..n {
+            // compose self ∘ earlier: (p, q) ∘ (p', q') = (p p', p q' + q)
+            let (p, q) = prev[i];
+            let (pp, qp) = prev[i - step];
+            cur[i] = (p * pp, p * qp + q);
+        }
+        step *= 2;
+    }
+    cur.into_iter().map(|(_, q)| q).collect()
+}
+
+/// Work model of recursive doubling (cost comparisons): three doubling
+/// scans of `log2(n)` passes each.
+pub fn rd_flops(n: usize) -> usize {
+    if n <= 1 {
+        return 8;
+    }
+    let logn = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    // 2x2 matrix products dominate (12 flops each), plus two affine scans
+    // (3 flops per composition).
+    n * logn * (12 + 3 + 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms;
+    use crate::thomas::solve_thomas;
+    use crate::workloads::{random_dominant, WorkloadShape};
+
+    fn dominant(n: usize, seed: u64) -> TridiagonalSystem<f64> {
+        random_dominant(WorkloadShape::new(1, n), seed)
+            .unwrap()
+            .system(0)
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_thomas_small() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64] {
+            let sys = dominant(n, n as u64);
+            let xt = solve_thomas(&sys).unwrap();
+            let xr = solve_recursive_doubling(&sys).unwrap();
+            let d = norms::max_abs_diff(&xt, &xr);
+            assert!(d < 1e-9, "n={n}: deviation {d:.3e}");
+        }
+    }
+
+    #[test]
+    fn matches_thomas_large_without_overflow() {
+        // The minor recurrence would overflow f64 near n ~ 1000 without the
+        // per-step normalisation; 16K equations proves the scaling works.
+        for n in [1024usize, 4096, 16384] {
+            let sys = dominant(n, 3);
+            let xt = solve_thomas(&sys).unwrap();
+            let xr = solve_recursive_doubling(&sys).unwrap();
+            let d = norms::max_abs_diff(&xt, &xr);
+            assert!(d < 1e-7, "n={n}: deviation {d:.3e}");
+        }
+    }
+
+    #[test]
+    fn residual_certifies_solution() {
+        let sys = dominant(500, 9);
+        let x = solve_recursive_doubling(&sys).unwrap();
+        assert!(norms::relative_residual(&sys, &x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_stencil() {
+        let batch = crate::workloads::poisson_1d::<f64>(WorkloadShape::new(1, 777), 1).unwrap();
+        let sys = batch.system(0).unwrap();
+        let xt = solve_thomas(&sys).unwrap();
+        let xr = solve_recursive_doubling(&sys).unwrap();
+        assert!(norms::max_abs_diff(&xt, &xr) < 1e-8);
+    }
+
+    #[test]
+    fn zero_leading_minor_rejected() {
+        // b0 = 0 makes the first pivot zero: RD (like Thomas) must refuse.
+        let sys = TridiagonalSystem::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!(matches!(
+            solve_recursive_doubling(&sys),
+            Err(SolverError::ZeroPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn work_model_is_n_log_n() {
+        assert!(rd_flops(1024) > 10 * rd_flops(64));
+        assert!(rd_flops(1024) < 1024 * 12 * 18 * 2);
+    }
+}

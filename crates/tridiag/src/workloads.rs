@@ -1,0 +1,326 @@
+//! Workload generators for the application classes the paper's introduction
+//! motivates: ADI methods, spectral Poisson solvers, cubic spline
+//! approximation, plus synthetic random/stress workloads for testing and
+//! tuning.
+//!
+//! Every generator produces strictly diagonally dominant systems (except the
+//! explicit stress generators), so the pivot-free GPU algorithms are stable —
+//! the same property the paper's evaluation workloads rely on.
+
+use crate::scalar::Scalar;
+use crate::system::{SystemBatch, TridiagonalSystem};
+use crate::Result;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A named workload shape `(m systems, n equations)` as used throughout the
+/// paper's figures, e.g. `1K×1K` or `1×2M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadShape {
+    /// Number of independent systems (`m`).
+    pub num_systems: usize,
+    /// Equations per system (`n`).
+    pub system_size: usize,
+}
+
+impl WorkloadShape {
+    /// Construct a shape.
+    pub const fn new(num_systems: usize, system_size: usize) -> Self {
+        Self {
+            num_systems,
+            system_size,
+        }
+    }
+
+    /// Total number of equations.
+    pub const fn total_equations(&self) -> usize {
+        self.num_systems * self.system_size
+    }
+
+    /// The paper's Figure 7/8 workload grid: 1K×1K, 2K×2K, 4K×4K, 1×2M.
+    pub fn paper_grid() -> Vec<WorkloadShape> {
+        vec![
+            WorkloadShape::new(1024, 1024),
+            WorkloadShape::new(2048, 2048),
+            WorkloadShape::new(4096, 4096),
+            WorkloadShape::new(1, 2 * 1024 * 1024),
+        ]
+    }
+
+    /// Short label in the paper's notation (`1Kx1K`, `1x2M`, …).
+    pub fn label(&self) -> String {
+        fn fmt(v: usize) -> String {
+            if v >= 1024 * 1024 && v.is_multiple_of(1024 * 1024) {
+                format!("{}M", v / (1024 * 1024))
+            } else if v >= 1024 && v.is_multiple_of(1024) {
+                format!("{}K", v / 1024)
+            } else {
+                v.to_string()
+            }
+        }
+        format!("{}x{}", fmt(self.num_systems), fmt(self.system_size))
+    }
+}
+
+/// Generate a batch of strictly diagonally dominant systems with uniformly
+/// random off-diagonals and right-hand sides. The default tuning/testing
+/// workload.
+pub fn random_dominant<T: Scalar>(shape: WorkloadShape, seed: u64) -> Result<SystemBatch<T>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let off = Uniform::new(-1.0f64, 1.0);
+    let rhs = Uniform::new(-10.0f64, 10.0);
+    let total = shape.total_equations();
+    let n = shape.system_size;
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    for s in 0..shape.num_systems {
+        for i in 0..n {
+            let idx = s * n + i;
+            let av = if i == 0 { 0.0 } else { off.sample(&mut rng) };
+            let cv = if i == n - 1 {
+                0.0
+            } else {
+                off.sample(&mut rng)
+            };
+            // Strict dominance with a comfortable margin.
+            let bv = (av.abs() + cv.abs() + 1.0) * if idx.is_multiple_of(2) { 1.0 } else { -1.0 };
+            a[idx] = T::from_f64(av);
+            b[idx] = T::from_f64(bv);
+            c[idx] = T::from_f64(cv);
+            d[idx] = T::from_f64(rhs.sample(&mut rng));
+        }
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// 1-D Poisson equation `−u'' = f` on `[0,1]` with Dirichlet boundaries,
+/// discretised with second-order central differences: the classic
+/// `[−1, 2, −1]` matrix (scaled), one system per right-hand side. This is the
+/// kernel of the spectral Poisson solvers the paper cites (Hockney).
+pub fn poisson_1d<T: Scalar>(shape: WorkloadShape, seed: u64) -> Result<SystemBatch<T>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let f = Uniform::new(-1.0f64, 1.0);
+    let n = shape.system_size;
+    let h = 1.0 / (n as f64 + 1.0);
+    let total = shape.total_equations();
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    // A small diagonal shift keeps the matrix strictly dominant, as a
+    // Helmholtz-shifted Poisson operator (−u'' + σu = f) would.
+    let sigma = 1.0;
+    for s in 0..shape.num_systems {
+        for i in 0..n {
+            let idx = s * n + i;
+            a[idx] = if i == 0 { T::ZERO } else { T::from_f64(-1.0) };
+            c[idx] = if i == n - 1 {
+                T::ZERO
+            } else {
+                T::from_f64(-1.0)
+            };
+            b[idx] = T::from_f64(2.0 + sigma * h * h);
+            d[idx] = T::from_f64(f.sample(&mut rng) * h * h);
+        }
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// Line systems from one implicit half-step of an ADI (alternating direction
+/// implicit) scheme for the 2-D heat equation on an `n×m` grid: `m` systems of
+/// `n` equations, coefficients `[−r, 1+2r, −r]` (Crank–Nicolson style), RHS
+/// from a smooth initial temperature field. The paper's headline motivating
+/// application (Ho & Johnsson; Sakharnykh).
+pub fn adi_heat_lines<T: Scalar>(shape: WorkloadShape, diffusion_r: f64) -> Result<SystemBatch<T>> {
+    assert!(diffusion_r > 0.0, "diffusion number must be positive");
+    let n = shape.system_size;
+    let m = shape.num_systems;
+    let total = shape.total_equations();
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    for line in 0..m {
+        let y = (line as f64 + 0.5) / m as f64;
+        for i in 0..n {
+            let idx = line * n + i;
+            let x = (i as f64 + 0.5) / n as f64;
+            a[idx] = if i == 0 {
+                T::ZERO
+            } else {
+                T::from_f64(-diffusion_r)
+            };
+            c[idx] = if i == n - 1 {
+                T::ZERO
+            } else {
+                T::from_f64(-diffusion_r)
+            };
+            b[idx] = T::from_f64(1.0 + 2.0 * diffusion_r);
+            // Smooth hot-spot initial condition.
+            let u0 = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+            d[idx] = T::from_f64(u0);
+        }
+    }
+    SystemBatch::new(m, n, a, b, c, d)
+}
+
+/// Natural cubic spline interpolation systems: `[1, 4, 1]` matrices with
+/// second-derivative right-hand sides from random sample points.
+pub fn cubic_spline<T: Scalar>(shape: WorkloadShape, seed: u64) -> Result<SystemBatch<T>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pts = Uniform::new(-5.0f64, 5.0);
+    let n = shape.system_size;
+    let total = shape.total_equations();
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    for s in 0..shape.num_systems {
+        // Random sample values y_0..y_{n+1}; the spline system solves for the
+        // interior second derivatives.
+        let y: Vec<f64> = (0..n + 2).map(|_| pts.sample(&mut rng)).collect();
+        for i in 0..n {
+            let idx = s * n + i;
+            a[idx] = if i == 0 { T::ZERO } else { T::ONE };
+            c[idx] = if i == n - 1 { T::ZERO } else { T::ONE };
+            b[idx] = T::from_f64(4.0);
+            d[idx] = T::from_f64(6.0 * (y[i] - 2.0 * y[i + 1] + y[i + 2]));
+        }
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// Constant-coefficient Toeplitz systems `[lo, diag, hi]` — useful for
+/// analytic checks because eigenvalues are known in closed form.
+pub fn toeplitz<T: Scalar>(
+    shape: WorkloadShape,
+    lo: f64,
+    diag: f64,
+    hi: f64,
+) -> Result<SystemBatch<T>> {
+    let n = shape.system_size;
+    let total = shape.total_equations();
+    let mut a = vec![T::from_f64(lo); total];
+    let mut c = vec![T::from_f64(hi); total];
+    let b = vec![T::from_f64(diag); total];
+    let d = (0..total)
+        .map(|i| T::from_f64(((i % 97) as f64) / 97.0 - 0.5))
+        .collect();
+    for s in 0..shape.num_systems {
+        a[s * n] = T::ZERO;
+        c[s * n + n - 1] = T::ZERO;
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// Nearly-singular stress systems: dominance margin shrinks to `eps`.
+/// Used by failure-injection tests; pivot-free algorithms lose accuracy here
+/// and the LU baseline must still succeed.
+pub fn near_singular<T: Scalar>(shape: WorkloadShape, eps: f64) -> Result<SystemBatch<T>> {
+    let n = shape.system_size;
+    let total = shape.total_equations();
+    let mut a = vec![T::from_f64(-1.0); total];
+    let mut c = vec![T::from_f64(-1.0); total];
+    let b = vec![T::from_f64(2.0 + eps); total];
+    let d = vec![T::ONE; total];
+    for s in 0..shape.num_systems {
+        a[s * n] = T::ZERO;
+        c[s * n + n - 1] = T::ZERO;
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// Extract a single [`TridiagonalSystem`] convenience generator (system 0 of a
+/// one-system batch) for examples and docs.
+pub fn single_random_dominant<T: Scalar>(n: usize, seed: u64) -> Result<TridiagonalSystem<T>> {
+    random_dominant(WorkloadShape::new(1, n), seed)?.system(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_labels_match_paper_notation() {
+        assert_eq!(WorkloadShape::new(1024, 1024).label(), "1Kx1K");
+        assert_eq!(WorkloadShape::new(4096, 4096).label(), "4Kx4K");
+        assert_eq!(WorkloadShape::new(1, 2 * 1024 * 1024).label(), "1x2M");
+        assert_eq!(WorkloadShape::new(3, 100).label(), "3x100");
+    }
+
+    #[test]
+    fn paper_grid_is_the_figure7_grid() {
+        let grid = WorkloadShape::paper_grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[3].total_equations(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn random_dominant_is_dominant_and_reproducible() {
+        let shape = WorkloadShape::new(4, 64);
+        let b1: SystemBatch<f64> = random_dominant(shape, 42).unwrap();
+        let b2: SystemBatch<f64> = random_dominant(shape, 42).unwrap();
+        let b3: SystemBatch<f64> = random_dominant(shape, 43).unwrap();
+        assert!(b1.is_diagonally_dominant());
+        assert_eq!(b1, b2);
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn all_generators_produce_valid_dominant_batches() {
+        let shape = WorkloadShape::new(3, 33);
+        let gens: Vec<SystemBatch<f64>> = vec![
+            random_dominant(shape, 1).unwrap(),
+            poisson_1d(shape, 1).unwrap(),
+            adi_heat_lines(shape, 0.5).unwrap(),
+            cubic_spline(shape, 1).unwrap(),
+            toeplitz(shape, -1.0, 3.0, -1.0).unwrap(),
+        ];
+        for (i, b) in gens.iter().enumerate() {
+            assert!(b.is_diagonally_dominant(), "generator {i} not dominant");
+            assert_eq!(b.num_systems, 3);
+            assert_eq!(b.system_size, 33);
+            // All systems individually valid.
+            for s in 0..b.num_systems {
+                b.system(s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn near_singular_is_weakly_dominant_only() {
+        let b: SystemBatch<f64> = near_singular(WorkloadShape::new(1, 16), 0.0).unwrap();
+        assert!(!b.is_diagonally_dominant()); // strict dominance fails
+        let b: SystemBatch<f64> = near_singular(WorkloadShape::new(1, 16), 0.5).unwrap();
+        assert!(b.is_diagonally_dominant()); // a healthy margin restores it
+    }
+
+    #[test]
+    fn poisson_solves_to_smooth_solution() {
+        let b: SystemBatch<f64> = poisson_1d(WorkloadShape::new(1, 127), 7).unwrap();
+        let sys = b.system(0).unwrap();
+        let x = crate::thomas::solve_thomas(&sys).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn adi_requires_positive_r() {
+        let result = std::panic::catch_unwind(|| {
+            adi_heat_lines::<f64>(WorkloadShape::new(1, 8), -0.1)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn f32_generation_works() {
+        let b: SystemBatch<f32> = random_dominant(WorkloadShape::new(2, 16), 5).unwrap();
+        assert!(b.is_diagonally_dominant());
+    }
+}

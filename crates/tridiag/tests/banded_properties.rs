@@ -1,0 +1,129 @@
+//! Property tests for the banded / block-tridiagonal extension (§VII future
+//! work): the banded LU must agree with the dense oracle for arbitrary
+//! bandwidths — including matrices that *require* pivoting — and the block
+//! Thomas solver must agree with the banded solver on assembled systems.
+
+use proptest::prelude::*;
+use trisolve_tridiag::banded::{
+    solve_banded, solve_block_thomas, BandedMatrix, BlockTridiagonalSystem,
+};
+use trisolve_tridiag::dense::{solve_dense, DenseMatrix};
+
+/// Strategy: a random banded matrix that is nonsingular with overwhelming
+/// probability but *not* diagonally dominant (so pivoting really happens),
+/// plus a right-hand side.
+#[allow(clippy::type_complexity)]
+fn banded_case() -> impl Strategy<Value = (usize, usize, usize, Vec<f64>, Vec<f64>)> {
+    (2usize..40, 0usize..4, 0usize..4).prop_flat_map(|(n, kl, ku)| {
+        let entries = n * (kl + ku + 1);
+        (
+            Just(n),
+            Just(kl),
+            Just(ku),
+            prop::collection::vec(-3.0f64..3.0, entries),
+            prop::collection::vec(-5.0f64..5.0, n),
+        )
+    })
+}
+
+fn build(n: usize, kl: usize, ku: usize, vals: &[f64]) -> BandedMatrix<f64> {
+    let mut m = BandedMatrix::zeros(n, kl, ku).unwrap();
+    let mut it = vals.iter();
+    for i in 0..n {
+        let lo = i.saturating_sub(kl);
+        let hi = (i + ku).min(n - 1);
+        for j in lo..=hi {
+            let mut v = *it.next().unwrap();
+            if i == j {
+                // Nudge the diagonal away from exact singularity without
+                // granting dominance.
+                v += if v >= 0.0 { 0.5 } else { -0.5 };
+            }
+            m.set(i, j, v).unwrap();
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn banded_lu_matches_dense_oracle((n, kl, ku, vals, d) in banded_case()) {
+        let m = build(n, kl, ku, &vals);
+        let dense = m.to_dense();
+        match (solve_banded(&m, &d), solve_dense(&dense, &d)) {
+            (Ok(xb), Ok(xd)) => {
+                // Compare via residuals (both backward stable; direct
+                // component comparison can amplify on ill-conditioned draws).
+                let rb = residual(&dense, &xb, &d);
+                let rd = residual(&dense, &xd, &d);
+                let scale = 1.0 + norm_inf(&xb).max(norm_inf(&xd));
+                prop_assert!(rb / scale < 1e-6, "banded residual {rb:.2e}");
+                prop_assert!(rd / scale < 1e-6, "dense residual {rd:.2e}");
+            }
+            // Both may legitimately reject a (near-)singular draw; the
+            // solvers need not agree on the exact failure row.
+            (Err(_), _) | (_, Err(_)) => {}
+        }
+    }
+
+    #[test]
+    fn banded_matvec_matches_dense((n, kl, ku, vals, x) in banded_case()) {
+        let m = build(n, kl, ku, &vals);
+        let yb = m.matvec(&x).unwrap();
+        let yd = m.to_dense().matvec(&x);
+        for (u, v) in yb.iter().zip(&yd) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn block_thomas_matches_banded(
+        m in 2usize..10,
+        s in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut mk = |dominant: bool| {
+            let mut blk = DenseMatrix::zeros(s);
+            for r in 0..s {
+                for c in 0..s {
+                    blk[(r, c)] = rng.gen_range(-1.0..1.0);
+                }
+                if dominant {
+                    blk[(r, r)] += 4.0 * s as f64;
+                }
+            }
+            blk
+        };
+        let sys = BlockTridiagonalSystem {
+            num_blocks: m,
+            block: s,
+            a: (0..m).map(|_| mk(false)).collect(),
+            b: (0..m).map(|_| mk(true)).collect(),
+            c: (0..m).map(|_| mk(false)).collect(),
+            d: (0..m * s).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        };
+        let x_block = solve_block_thomas(&sys).unwrap();
+        let banded = sys.to_banded().unwrap();
+        let x_band = solve_banded(&banded, &sys.d).unwrap();
+        for (u, v) in x_block.iter().zip(&x_band) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+}
+
+fn residual(a: &DenseMatrix<f64>, x: &[f64], d: &[f64]) -> f64 {
+    a.matvec(x)
+        .iter()
+        .zip(d)
+        .map(|(u, v)| (u - v).abs())
+        .fold(0.0, f64::max)
+}
+
+fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}

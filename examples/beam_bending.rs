@@ -1,0 +1,75 @@
+//! Euler–Bernoulli beam bending — a pentadiagonal application for the
+//! banded-solver extension (the paper's §VII future work, implemented in
+//! `trisolve::tridiag::banded`).
+//!
+//! The static deflection `w(x)` of a clamped-clamped beam under a load
+//! `q(x)` satisfies the fourth-order equation `EI·w'''' = q`. Central
+//! differences turn `w''''` into the five-point stencil `[1, −4, 6, −4, 1]`,
+//! i.e. a pentadiagonal system.
+//!
+//! Run with: `cargo run --release --example beam_bending`
+
+use trisolve::tridiag::banded::{solve_banded, BandedMatrix};
+
+/// Interior grid points.
+const N: usize = 400;
+/// Beam length (m), flexural rigidity EI (N·m²), uniform load (N/m).
+const LENGTH: f64 = 2.0;
+const EI: f64 = 150.0;
+const Q: f64 = 1_000.0;
+
+fn main() {
+    let h = LENGTH / (N as f64 + 1.0);
+    let h4 = h.powi(4);
+
+    // Assemble EI/h⁴ · [1, -4, 6, -4, 1] with clamped boundaries
+    // (w = w' = 0 at both ends, imposed via the ghost-point reflection that
+    // modifies the first and last diagonal entries to 7).
+    let mut m = BandedMatrix::zeros(N, 2, 2).expect("valid banded shape");
+    for i in 0..N {
+        let diag = if i == 0 || i == N - 1 { 7.0 } else { 6.0 };
+        m.set(i, i, EI * diag / h4).unwrap();
+        if i >= 1 {
+            m.set(i, i - 1, EI * -4.0 / h4).unwrap();
+        }
+        if i + 1 < N {
+            m.set(i, i + 1, EI * -4.0 / h4).unwrap();
+        }
+        if i >= 2 {
+            m.set(i, i - 2, EI * 1.0 / h4).unwrap();
+        }
+        if i + 2 < N {
+            m.set(i, i + 2, EI * 1.0 / h4).unwrap();
+        }
+    }
+    let q = vec![Q; N];
+    let w = solve_banded(&m, &q).expect("beam solve");
+
+    // Analytic midspan deflection of a clamped-clamped beam under uniform
+    // load: w_max = q·L⁴ / (384·EI).
+    let analytic = Q * LENGTH.powi(4) / (384.0 * EI);
+    let mid = w[N / 2];
+    println!("midspan deflection: numeric {mid:.6} m, analytic {analytic:.6} m");
+    let rel_err = ((mid - analytic) / analytic).abs();
+    println!("relative error: {rel_err:.3e} (second-order scheme on {N} points)");
+    assert!(rel_err < 5e-3, "discretisation error out of band");
+
+    // Symmetry and boundary checks.
+    let asym = w
+        .iter()
+        .zip(w.iter().rev())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max asymmetry: {asym:.3e}");
+    assert!(asym < 1e-9, "uniform load on a symmetric beam must deflect symmetrically");
+    assert!(w[0] < mid && w[N - 1] < mid, "clamped ends deflect least");
+
+    // Print a coarse deflection profile.
+    println!("\ndeflection profile (x, w):");
+    for k in 0..=10 {
+        let i = (k * (N - 1)) / 10;
+        let x = (i as f64 + 1.0) * h;
+        let bar = "#".repeat((w[i] / analytic * 40.0) as usize);
+        println!("  x={x:4.2} m  w={:8.6} m  {bar}", w[i]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Cubic spline interpolation — one of the classic tridiagonal applications
+//! from the paper's introduction.
+//!
+//! Fits natural cubic splines through many sampled curves at once: the
+//! second-derivative system of each curve is tridiagonal (`[1, 4, 1]`), and
+//! fitting a batch of curves is a many-small-systems workload for the
+//! multi-stage solver.
+//!
+//! Run with: `cargo run --release --example cubic_spline`
+
+use trisolve::prelude::*;
+
+/// Number of curves fitted at once.
+const CURVES: usize = 512;
+/// Interior knots per curve.
+const KNOTS: usize = 254;
+
+fn main() {
+    // Sample a family of noisy sine curves at uniform knots.
+    let n = KNOTS;
+    let total = CURVES * n;
+    let mut a = vec![1.0f64; total];
+    let b = vec![4.0f64; total];
+    let mut c = vec![1.0f64; total];
+    let mut d = vec![0.0f64; total];
+    let mut samples = vec![0.0f64; CURVES * (n + 2)];
+    for curve in 0..CURVES {
+        let phase = curve as f64 * 0.01;
+        let freq = 1.0 + (curve % 7) as f64 * 0.5;
+        for k in 0..n + 2 {
+            let t = k as f64 / (n + 1) as f64;
+            samples[curve * (n + 2) + k] = (freq * std::f64::consts::TAU * t + phase).sin();
+        }
+        a[curve * n] = 0.0;
+        c[curve * n + n - 1] = 0.0;
+        for i in 0..n {
+            let y = &samples[curve * (n + 2)..];
+            d[curve * n + i] = 6.0 * (y[i] - 2.0 * y[i + 1] + y[i + 2]);
+        }
+    }
+    let batch = SystemBatch::new(CURVES, n, a, b, c, d).expect("valid spline batch");
+
+    // Solve all second-derivative systems on the simulated GPU. Doubles
+    // here: spline coefficients benefit from the extra precision, and this
+    // exercises the f64 path (shared-memory bank conflicts and all).
+    let shape = WorkloadShape::new(CURVES, n);
+    let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_280());
+    let mut tuner = DynamicTuner::new();
+    tuner.tune_for(&mut gpu, shape);
+    let params = tuner.params_for(shape, gpu.spec().queryable(), 8);
+    let outcome = solve_batch_on_gpu(&mut gpu, &batch, &params).expect("spline solve");
+    println!(
+        "fitted {CURVES} splines ({KNOTS} knots each) in {:.3} simulated ms on {}",
+        outcome.sim_time_ms(),
+        gpu.spec().name()
+    );
+
+    let residual = batch_worst_relative_residual(&batch, &outcome.x).expect("residual");
+    println!("worst relative residual: {residual:.2e}");
+    assert!(residual < 1e-12);
+
+    // Evaluate spline 0 halfway between two knots and compare with the
+    // true curve: the interpolation error of a cubic spline on a smooth
+    // function at this resolution should be tiny.
+    let curve = 0usize;
+    let m = &outcome.x[curve * n..(curve + 1) * n]; // second derivatives
+    let y = &samples[curve * (n + 2)..curve * (n + 2) + n + 2];
+    let h = 1.0 / (n + 1) as f64;
+    // Interval between knots k and k+1 (both interior), t = 0.5. The RHS
+    // was assembled without the 1/h² factor, so `m` carries h² already.
+    let k = n / 3;
+    let (m0, m1) = (m[k - 1], m[k]);
+    let (y0, y1) = (y[k], y[k + 1]);
+    let t = 0.5f64;
+    let s = m0 * (1.0 - t).powi(3) / 6.0
+        + m1 * t.powi(3) / 6.0
+        + (y0 - m0 / 6.0) * (1.0 - t)
+        + (y1 - m1 / 6.0) * t;
+    let x_mid = (k as f64 + 0.5) * h;
+    let truth = (std::f64::consts::TAU * x_mid).sin();
+    println!("spline(0.5 between knots) = {s:.6}, truth = {truth:.6}");
+    assert!((s - truth).abs() < 1e-4, "spline must interpolate accurately");
+    println!("interpolation error: {:.2e}", (s - truth).abs());
+}

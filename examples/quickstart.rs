@@ -1,0 +1,60 @@
+//! Quickstart: solve a batch of tridiagonal systems on a simulated GPU with
+//! the auto-tuned multi-stage solver, and verify the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use trisolve::prelude::*;
+
+fn main() {
+    // 1. A workload: 64 diagonally dominant systems of 8192 equations —
+    //    too large for any GPU's shared memory, so the solver must split.
+    let shape = WorkloadShape::new(64, 8192);
+    let batch = random_dominant::<f32>(shape, 42).expect("valid workload");
+    println!(
+        "workload: {} ({} total equations, {:.1} MB of coefficients)",
+        shape.label(),
+        shape.total_equations(),
+        batch.coefficient_bytes() as f64 / 1e6,
+    );
+
+    // 2. A simulated device (paper Table I) and a runtime self-tuning pass.
+    let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+    let mut tuner = DynamicTuner::new();
+    let config = tuner.tune_for(&mut gpu, shape);
+    println!(
+        "tuned for {}: on-chip size {}, Thomas switch {}, stage-1 target {} ({} micro-benchmarks)",
+        gpu.spec().name(),
+        config.onchip_size,
+        config.thomas_switch,
+        config.stage1_target_systems,
+        config.evaluations,
+    );
+
+    // 3. Solve.
+    let params = tuner.params_for(shape, gpu.spec().queryable(), 4);
+    let outcome = solve_batch_on_gpu(&mut gpu, &batch, &params).expect("solve succeeds");
+    println!("plan: {}", outcome.plan.summary());
+    println!(
+        "solved in {:.3} simulated ms across {} kernel launches",
+        outcome.sim_time_ms(),
+        outcome.kernel_stats.len()
+    );
+
+    // 4. Verify against the systems themselves.
+    let residual = batch_worst_relative_residual(&batch, &outcome.x).expect("shapes match");
+    println!("worst relative residual: {residual:.2e}");
+    assert!(residual < 1e-4, "single-precision solve must be accurate");
+
+    // 5. Compare with the untuned defaults to see what tuning bought.
+    let untuned = SolverParams::default_untuned();
+    let untuned_outcome = {
+        let mut fresh: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        solve_batch_on_gpu(&mut fresh, &batch, &untuned).expect("solve succeeds")
+    };
+    println!(
+        "untuned defaults: {:.3} ms  ->  tuned: {:.3} ms  ({:.2}x)",
+        untuned_outcome.sim_time_ms(),
+        outcome.sim_time_ms(),
+        untuned_outcome.sim_time_ms() / outcome.sim_time_ms(),
+    );
+}

@@ -1,0 +1,381 @@
+//! `trisolve` — command-line front end to the auto-tuned multi-stage
+//! tridiagonal solver on the simulated GPUs.
+//!
+//! ```console
+//! $ trisolve devices
+//! $ trisolve solve --device 470 --systems 64 --size 8192 --tuner dynamic
+//! $ trisolve tune  --device 280 --systems 16 --size 65536 --cache tuning.json
+//! $ trisolve compare --systems 1024 --size 1024
+//! ```
+//!
+//! Dependency-free argument parsing (`--key value` pairs after a
+//! subcommand); `--json` switches the output to machine-readable JSON.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use trisolve::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "devices" => cmd_devices(&opts),
+        "solve" => cmd_solve(&opts),
+        "tune" => cmd_tune(&opts),
+        "compare" => cmd_compare(&opts),
+        "sort" => cmd_sort(&opts),
+        "fft" => cmd_fft(&opts),
+        "quicksort" => cmd_quicksort(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+trisolve — auto-tuned multi-stage tridiagonal solver (simulated GPU)
+
+USAGE:
+  trisolve devices [--json]
+  trisolve solve   --systems M --size N [--device 8800|280|470]
+                   [--tuner default|static|dynamic] [--precision f32|f64]
+                   [--workload random|poisson|adi|spline] [--seed S] [--json]
+  trisolve tune    --systems M --size N [--device ...] [--cache FILE] [--json]
+  trisolve compare --systems M --size N [--seed S] [--json]
+                   (all three tuners on all three devices)
+  trisolve sort    --len N [--device ...]     (SVI-C merge-sort demo)
+  trisolve fft     --len N [--device ...]     (SVI-C four-step FFT demo)
+  trisolve quicksort --len N [--device ...]   (SVII multi-stage quicksort demo)
+";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{k}`"));
+        };
+        if key == "json" {
+            map.insert("json".into(), "true".into());
+            continue;
+        }
+        let v = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), v.clone());
+    }
+    Ok(map)
+}
+
+fn opt_usize(opts: &Opts, key: &str) -> Result<usize, String> {
+    opts.get(key)
+        .ok_or_else(|| format!("missing --{key}"))?
+        .parse()
+        .map_err(|_| format!("--{key} must be a number"))
+}
+
+fn device(opts: &Opts) -> Result<DeviceSpec, String> {
+    match opts.get("device").map(String::as_str).unwrap_or("470") {
+        "8800" | "8800gtx" => Ok(DeviceSpec::geforce_8800_gtx()),
+        "280" | "gtx280" => Ok(DeviceSpec::gtx_280()),
+        "470" | "gtx470" => Ok(DeviceSpec::gtx_470()),
+        other => Err(format!("unknown device `{other}` (use 8800, 280 or 470)")),
+    }
+}
+
+fn workload(opts: &Opts, shape: WorkloadShape) -> Result<SystemBatch<f32>, String> {
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed must be a number".to_string()))
+        .transpose()?
+        .unwrap_or(2011);
+    let kind = opts.get("workload").map(String::as_str).unwrap_or("random");
+    let batch = match kind {
+        "random" => random_dominant(shape, seed),
+        "poisson" => poisson_1d(shape, seed),
+        "adi" => adi_heat_lines(shape, 0.5),
+        "spline" => cubic_spline(shape, seed),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    batch.map_err(|e| e.to_string())
+}
+
+fn json_flag(opts: &Opts) -> bool {
+    opts.contains_key("json")
+}
+
+fn cmd_devices(opts: &Opts) -> Result<(), String> {
+    if json_flag(opts) {
+        let rows: Vec<_> = DeviceSpec::paper_devices()
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "name": d.name(),
+                    "queryable": d.queryable(),
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return Ok(());
+    }
+    for d in DeviceSpec::paper_devices() {
+        let q = d.queryable();
+        println!(
+            "{:<18} {:>4} SMs x {:>2} TPs  shared {:>2} KB  regs {:>5}  global {:>4} MB  (max on-chip f32: {})",
+            q.name,
+            q.num_processors,
+            q.thread_procs_per_sm,
+            q.shared_mem_per_sm_bytes / 1024,
+            q.registers_per_sm,
+            q.global_mem_bytes / (1024 * 1024),
+            SolverParams::max_onchip_size(q, 4),
+        );
+    }
+    Ok(())
+}
+
+fn pick_params(
+    opts: &Opts,
+    shape: WorkloadShape,
+    dev: &DeviceSpec,
+) -> Result<(SolverParams, &'static str, usize), String> {
+    let q = dev.queryable();
+    match opts.get("tuner").map(String::as_str).unwrap_or("dynamic") {
+        "default" => Ok((DefaultTuner.params_for(shape, q, 4), "default", 0)),
+        "static" => Ok((StaticTuner.params_for(shape, q, 4), "static", 0)),
+        "dynamic" => {
+            let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+            let mut tuner = DynamicTuner::new();
+            let cfg = tuner.tune_for(&mut gpu, shape);
+            Ok((cfg.params_for(shape), "dynamic", cfg.evaluations))
+        }
+        other => Err(format!("unknown tuner `{other}`")),
+    }
+}
+
+fn cmd_solve(opts: &Opts) -> Result<(), String> {
+    let shape = WorkloadShape::new(opt_usize(opts, "systems")?, opt_usize(opts, "size")?);
+    let dev = device(opts)?;
+    if opts.get("precision").map(String::as_str) == Some("f64") {
+        return solve_f64(opts, shape, dev);
+    }
+    let batch = workload(opts, shape)?;
+    let (params, tuner_name, evals) = pick_params(opts, shape, &dev)?;
+    let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+    let outcome = trisolve::solver::solve_batch_on_gpu(&mut gpu, &batch, &params)
+        .map_err(|e| e.to_string())?;
+    let residual =
+        batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+
+    if json_flag(opts) {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "device": dev.name(),
+                "workload": shape.label(),
+                "tuner": tuner_name,
+                "tuning_evaluations": evals,
+                "params": params,
+                "plan": outcome.plan.summary(),
+                "launches": outcome.kernel_stats.len(),
+                "sim_time_ms": outcome.sim_time_ms(),
+                "worst_relative_residual": residual,
+            }))
+            .unwrap()
+        );
+    } else {
+        println!("device    : {}", dev.name());
+        println!("workload  : {} ({} equations)", shape.label(), shape.total_equations());
+        println!("tuner     : {tuner_name} ({evals} micro-benchmarks)");
+        println!(
+            "params    : S3={} T4={} P1={} {:?}",
+            params.onchip_size, params.thomas_switch, params.stage1_target_systems, params.variant
+        );
+        println!("plan      : {}", outcome.plan.summary());
+        println!("sim time  : {:.3} ms over {} launches", outcome.sim_time_ms(), outcome.kernel_stats.len());
+        println!("residual  : {residual:.3e}");
+    }
+    Ok(())
+}
+
+fn solve_f64(opts: &Opts, shape: WorkloadShape, dev: DeviceSpec) -> Result<(), String> {
+    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2011);
+    let batch: SystemBatch<f64> =
+        random_dominant(shape, seed).map_err(|e| e.to_string())?;
+    let params = StaticTuner.params_for(shape, dev.queryable(), 8);
+    let mut gpu: Gpu<f64> = Gpu::new(dev.clone());
+    let outcome = trisolve::solver::solve_batch_on_gpu(&mut gpu, &batch, &params)
+        .map_err(|e| e.to_string())?;
+    let residual =
+        batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+    println!(
+        "f64 solve on {}: {:.3} ms, residual {residual:.3e}",
+        dev.name(),
+        outcome.sim_time_ms()
+    );
+    Ok(())
+}
+
+fn cmd_tune(opts: &Opts) -> Result<(), String> {
+    let shape = WorkloadShape::new(opt_usize(opts, "systems")?, opt_usize(opts, "size")?);
+    let dev = device(opts)?;
+    let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+    let mut tuner = DynamicTuner::new();
+    let cfg = tuner.tune_for(&mut gpu, shape);
+
+    if let Some(path) = opts.get("cache") {
+        let path = PathBuf::from(path);
+        let mut cache = TuningCache::load(&path).map_err(|e| e.to_string())?;
+        cache.insert(dev.name(), cfg.clone());
+        cache.save(&path).map_err(|e| e.to_string())?;
+        println!("saved to {} ({} entries)", path.display(), cache.len());
+    }
+    if json_flag(opts) {
+        println!("{}", serde_json::to_string_pretty(&cfg).unwrap());
+    } else {
+        println!(
+            "{}: S3={} T4={} P1={} strided-from-stride={} ({} micro-benchmarks)",
+            dev.name(),
+            cfg.onchip_size,
+            cfg.thomas_switch,
+            cfg.stage1_target_systems,
+            cfg.strided_from_stride,
+            cfg.evaluations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    let shape = WorkloadShape::new(opt_usize(opts, "systems")?, opt_usize(opts, "size")?);
+    let batch = workload(opts, shape)?;
+    let mut rows = Vec::new();
+    for dev in DeviceSpec::paper_devices() {
+        let q = dev.queryable().clone();
+        let mut times = Vec::new();
+        for tuner in ["default", "static", "dynamic"] {
+            let mut o = opts.clone();
+            o.insert("tuner".into(), tuner.into());
+            let (params, _, _) = pick_params(&o, shape, &dev)?;
+            let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+            let ms = trisolve::solver::solver::measure_solve_time(&mut gpu, &batch, &params)
+                .map(|t| t * 1e3)
+                .unwrap_or(f64::INFINITY);
+            times.push(ms);
+        }
+        rows.push((q.name.clone(), times));
+    }
+    if json_flag(opts) {
+        let out: Vec<_> = rows
+            .iter()
+            .map(|(name, t)| {
+                serde_json::json!({
+                    "device": name, "untuned_ms": t[0], "static_ms": t[1], "dynamic_ms": t[2]
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    } else {
+        println!("{} on all devices (simulated ms):", shape.label());
+        println!("{:<20} {:>10} {:>10} {:>10}", "device", "untuned", "static", "dynamic");
+        for (name, t) in rows {
+            println!("{name:<20} {:>10.3} {:>10.3} {:>10.3}", t[0], t[1], t[2]);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sort(opts: &Opts) -> Result<(), String> {
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    let len = opt_usize(opts, "len")?;
+    if !len.is_power_of_two() {
+        return Err("--len must be a power of two".into());
+    }
+    let dev = device(opts)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(2011);
+    let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let mut gpu: trisolve::gpu::Gpu<u32> = trisolve::gpu::Gpu::new(dev.clone());
+    let tuned = trisolve::dnc::tune_sort(&mut gpu, len);
+    let out = trisolve::dnc::sort_on_gpu(&mut gpu, &data, tuned.params)
+        .map_err(|e| e.to_string())?;
+    assert!(out.data.windows(2).all(|w| w[0] <= w[1]));
+    println!(
+        "sorted {len} keys on {} in {:.3} simulated ms (tile {}, coop {}; {} tuning probes)",
+        dev.name(),
+        out.sim_time_s * 1e3,
+        tuned.params.tile_size,
+        tuned.params.coop_threshold,
+        tuned.evaluations
+    );
+    Ok(())
+}
+
+fn cmd_fft(opts: &Opts) -> Result<(), String> {
+    let len = opt_usize(opts, "len")?;
+    if !len.is_power_of_two() {
+        return Err("--len must be a power of two".into());
+    }
+    let dev = device(opts)?;
+    let re: Vec<f64> = (0..len).map(|i| ((i * 37 % 512) as f64) / 256.0 - 1.0).collect();
+    let im = vec![0.0f64; len];
+    let mut gpu: trisolve::gpu::Gpu<f64> = trisolve::gpu::Gpu::new(dev.clone());
+    let (params, evals) = trisolve::dnc::tune_fft(&mut gpu, len);
+    let out = trisolve::dnc::fft_on_gpu(&mut gpu, &re, &im, params).map_err(|e| e.to_string())?;
+    println!(
+        "FFT of {len} points on {} in {:.3} simulated ms (split N1={}, {} tuning probes, {} launches)",
+        dev.name(),
+        out.sim_time_s * 1e3,
+        params.n1,
+        evals,
+        out.kernel_stats.len()
+    );
+    Ok(())
+}
+
+fn cmd_quicksort(opts: &Opts) -> Result<(), String> {
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    let len = opt_usize(opts, "len")?;
+    let dev = device(opts)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(2011);
+    let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let mut gpu: trisolve::gpu::Gpu<u32> = trisolve::gpu::Gpu::new(dev.clone());
+    let (params, evals) = trisolve::dnc::tune_quicksort(&mut gpu, len);
+    let out = trisolve::dnc::quicksort_on_gpu(&mut gpu, &data, params)
+        .map_err(|e| e.to_string())?;
+    assert!(out.data.windows(2).all(|w| w[0] <= w[1]));
+    println!(
+        "quicksorted {len} keys on {} in {:.3} simulated ms \
+         (on-chip {}, coop {}; {} probes, {} launches)",
+        dev.name(),
+        out.sim_time_s * 1e3,
+        params.onchip_threshold,
+        params.coop_threshold,
+        evals,
+        out.kernel_stats.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # trisolve
+//!
+//! An auto-tuned multi-stage solver for large tridiagonal systems on a
+//! simulated GPU — a full Rust reproduction of Davidson, Zhang & Owens,
+//! *"An Auto-tuned Method for Solving Large Tridiagonal Systems on the
+//! GPU"* (IPDPS 2011).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`tridiag`] — tridiagonal algebra: system types, Thomas/LU/CR/PCR and
+//!   hybrid solvers, workload generators, norms, batched CPU drivers;
+//! * [`gpu`] — the functional GPU machine simulator (devices of the paper's
+//!   Table I, launch API, analytic timing model, MKL-class CPU model);
+//! * [`solver`] — the paper's multi-stage solver (stage kernels, plans,
+//!   driver);
+//! * [`autotune`] — default / machine-query / self-tuned parameter
+//!   selection, the pruned-search framework, and the tuning cache;
+//! * [`dnc`] — the §VI-C divide-and-conquer generalisation (auto-tuned
+//!   multi-stage merge sort).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trisolve::prelude::*;
+//!
+//! // A batch of 32 diagonally dominant systems of 4096 equations.
+//! let shape = WorkloadShape::new(32, 4096);
+//! let batch = random_dominant::<f32>(shape, 42).unwrap();
+//!
+//! // A simulated GeForce GTX 470, and parameters tuned for it at runtime.
+//! let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+//! let mut tuner = DynamicTuner::new();
+//! tuner.tune_for(&mut gpu, shape);
+//! let params = tuner.params_for(shape, gpu.spec().queryable(), 4);
+//!
+//! // Solve and verify.
+//! let outcome = solve_batch_on_gpu(&mut gpu, &batch, &params).unwrap();
+//! let residual = batch_worst_relative_residual(&batch, &outcome.x).unwrap();
+//! assert!(residual < 1e-4);
+//! println!("solved in {:.3} simulated ms", outcome.sim_time_ms());
+//! ```
+
+pub use trisolve_autotune as autotune;
+pub use trisolve_core as solver;
+pub use trisolve_dnc as dnc;
+pub use trisolve_gpu_sim as gpu;
+pub use trisolve_tridiag as tridiag;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use trisolve_autotune::{
+        solve_auto, DefaultTuner, DynamicTuner, StaticTuner, TunedConfig, Tuner, TuningBudget,
+        TuningCache,
+    };
+    pub use trisolve_core::{
+        solve_batch_on_gpu, BaseVariant, SolveOutcome, SolvePlan, SolverParams,
+    };
+    pub use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu, QueryableProps};
+    pub use trisolve_tridiag::norms::{batch_worst_relative_residual, relative_residual};
+    pub use trisolve_tridiag::workloads::{
+        adi_heat_lines, cubic_spline, poisson_1d, random_dominant, WorkloadShape,
+    };
+    pub use trisolve_tridiag::{Scalar, SolverError, SystemBatch, TridiagonalSystem};
+}

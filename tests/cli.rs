@@ -1,0 +1,115 @@
+//! End-to-end tests of the `trisolve` CLI binary (Cargo builds it and
+//! exposes its path via `CARGO_BIN_EXE_trisolve`).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_trisolve"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn devices_lists_all_three_gpus() {
+    let (ok, stdout, _) = run(&["devices"]);
+    assert!(ok);
+    for name in ["8800 GTX", "GTX 280", "GTX 470"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn devices_json_is_valid_json() {
+    let (ok, stdout, _) = run(&["devices", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v.as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn solve_reports_plan_and_residual() {
+    let (ok, stdout, _) = run(&[
+        "solve", "--systems", "8", "--size", "2048", "--tuner", "static", "--device", "280",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("GeForce GTX 280"));
+    assert!(stdout.contains("plan"));
+    assert!(stdout.contains("residual"));
+}
+
+#[test]
+fn solve_json_contains_metrics() {
+    let (ok, stdout, _) = run(&[
+        "solve", "--systems", "4", "--size", "1024", "--tuner", "default", "--json",
+    ]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(v["sim_time_ms"].as_f64().unwrap() > 0.0);
+    assert!(v["worst_relative_residual"].as_f64().unwrap() < 1e-3);
+    assert_eq!(v["tuner"], "default");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_required_flag_fails_cleanly() {
+    let (ok, _, stderr) = run(&["solve", "--size", "1024"]);
+    assert!(!ok);
+    assert!(stderr.contains("--systems"));
+}
+
+#[test]
+fn bad_device_fails_cleanly() {
+    let (ok, _, stderr) = run(&["solve", "--systems", "2", "--size", "64", "--device", "9900"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown device"));
+}
+
+#[test]
+fn tune_writes_a_cache_file() {
+    let dir = std::env::temp_dir().join("trisolve-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("tuning.json");
+    let _ = std::fs::remove_file(&cache);
+    let (ok, stdout, _) = run(&[
+        "tune",
+        "--systems",
+        "8",
+        "--size",
+        "4096",
+        "--device",
+        "470",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    let text = std::fs::read_to_string(&cache).expect("cache written");
+    assert!(text.contains("GeForce GTX 470"));
+    std::fs::remove_file(&cache).unwrap();
+}
+
+#[test]
+fn dnc_subcommands_run() {
+    let (ok, stdout, _) = run(&["sort", "--len", "16384", "--device", "8800"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sorted 16384 keys"));
+
+    let (ok, stdout, _) = run(&["fft", "--len", "4096"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("FFT of 4096 points"));
+
+    let (ok, stdout, _) = run(&["quicksort", "--len", "30000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("quicksorted 30000 keys"));
+}

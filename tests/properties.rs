@@ -1,0 +1,112 @@
+//! Cross-crate property tests: for arbitrary diagonally dominant workloads
+//! and arbitrary valid solver parameters, the GPU pipeline must agree with
+//! the CPU reference solvers, conserve structure, and meter sane costs.
+
+use proptest::prelude::*;
+use trisolve::prelude::*;
+use trisolve::tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
+use trisolve::tridiag::norms;
+
+/// Strategy: a random diagonally dominant batch (small enough to be fast).
+fn small_batch() -> impl Strategy<Value = SystemBatch<f64>> {
+    (1usize..6, 1usize..200, any::<u64>()).prop_map(|(m, n, seed)| {
+        random_dominant::<f64>(WorkloadShape::new(m, n), seed).unwrap()
+    })
+}
+
+/// Strategy: valid solver parameters for the GTX 470 (f64).
+fn valid_params() -> impl Strategy<Value = SolverParams> {
+    (5u32..=9, 3u32..=9, 0usize..6, prop::bool::ANY).prop_map(|(s3l, t4l, p1l, strided)| {
+        let onchip = 1usize << s3l;
+        SolverParams {
+            stage1_target_systems: 1 << p1l,
+            onchip_size: onchip,
+            thomas_switch: (1usize << t4l).min(onchip),
+            variant: if strided {
+                BaseVariant::Strided
+            } else {
+                BaseVariant::Coalesced
+            },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gpu_solution_matches_lu(batch in small_batch(), params in valid_params()) {
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let outcome = solve_batch_on_gpu(&mut gpu, &batch, &params).unwrap();
+        let lu = solve_batch_sequential(&batch, BatchAlgorithm::Lu).unwrap();
+        let diff = norms::max_abs_diff(&outcome.x, &lu);
+        prop_assert!(diff < 1e-8, "deviation {diff:.3e}");
+    }
+
+    #[test]
+    fn residual_always_small_on_dominant_systems(batch in small_batch()) {
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_280());
+        let outcome =
+            solve_batch_on_gpu(&mut gpu, &batch, &SolverParams::default_untuned()).unwrap();
+        let res = batch_worst_relative_residual(&batch, &outcome.x).unwrap();
+        prop_assert!(res < 1e-10, "residual {res:.3e}");
+    }
+
+    #[test]
+    fn simulated_time_positive_and_finite(batch in small_batch(), params in valid_params()) {
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let outcome = solve_batch_on_gpu(&mut gpu, &batch, &params).unwrap();
+        prop_assert!(outcome.sim_time_s.is_finite());
+        prop_assert!(outcome.sim_time_s > 0.0);
+        // The plan's launch count matches the profile.
+        prop_assert_eq!(outcome.kernel_stats.len(), outcome.plan.num_launches());
+    }
+
+    #[test]
+    fn solution_length_matches_workload(batch in small_batch()) {
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::geforce_8800_gtx());
+        let outcome =
+            solve_batch_on_gpu(&mut gpu, &batch, &SolverParams::default_untuned()).unwrap();
+        prop_assert_eq!(outcome.x.len(), batch.total_equations());
+        // All buffers are released.
+        prop_assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn more_equations_never_simulate_faster(
+        m in 1usize..4,
+        n_small in 6u32..9,
+        seed in any::<u64>(),
+    ) {
+        // Doubling the system size must not reduce simulated time under
+        // identical parameters (monotonicity of the cost model).
+        let params = SolverParams::default_untuned();
+        let t = |n: usize| {
+            let batch = random_dominant::<f64>(WorkloadShape::new(m, n), seed).unwrap();
+            let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            solve_batch_on_gpu(&mut gpu, &batch, &params).unwrap().sim_time_s
+        };
+        let small = t(1 << n_small);
+        let large = t(1 << (n_small + 1));
+        prop_assert!(large >= small, "large {large:.3e} < small {small:.3e}");
+    }
+
+    #[test]
+    fn tuned_params_are_always_valid(
+        m in 1usize..2000,
+        n in 1usize..100_000,
+    ) {
+        // Whatever the workload, every tuner must return parameters the
+        // device accepts.
+        let shape = WorkloadShape::new(m, n);
+        for device in DeviceSpec::paper_devices() {
+            let q = device.queryable();
+            for eb in [4usize, 8] {
+                let p = StaticTuner.params_for(shape, q, eb);
+                prop_assert!(p.validate(q, eb).is_ok());
+                let p = DefaultTuner.params_for(shape, q, eb);
+                prop_assert!(p.validate(q, eb).is_ok());
+            }
+        }
+    }
+}
