@@ -3,8 +3,9 @@
 
 use crate::cache::TuningCache;
 use crate::tuners::{DynamicTuner, TunedConfig};
+use trisolve_core::engine::{Backend, GpuBackend};
 use trisolve_core::kernels::{elem_bytes, GpuScalar};
-use trisolve_core::{solver, Result, SolveOutcome};
+use trisolve_core::{Result, SolveOutcome};
 use trisolve_gpu_sim::Gpu;
 use trisolve_tridiag::workloads::WorkloadShape;
 use trisolve_tridiag::SystemBatch;
@@ -23,7 +24,9 @@ pub fn solve_auto<T: GpuScalar>(
 ) -> Result<SolveOutcome<T>> {
     let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
     let params = ensure_tuned(gpu, shape, cache).params_for(shape);
-    solver::solve_batch_on_gpu(gpu, batch, &params)
+    let mut backend = GpuBackend::new(gpu);
+    let mut session = backend.prepare(shape, &params)?;
+    backend.solve(&mut session, batch, &params)
 }
 
 /// Fetch the cached configuration for this device, element width and
@@ -70,7 +73,10 @@ mod tests {
         let out2 = solve_auto(&mut gpu, &batch, &mut cache).unwrap();
         assert_eq!(cache.len(), 1);
         assert_eq!(
-            cache.get_for("GeForce GTX 280", 4, shape).unwrap().evaluations,
+            cache
+                .get_for("GeForce GTX 280", 4, shape)
+                .unwrap()
+                .evaluations,
             evals_after_first
         );
         assert_eq!(out1.x, out2.x);

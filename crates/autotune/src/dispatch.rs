@@ -13,10 +13,10 @@ use crate::microbench::Microbench;
 use crate::tuners::{DynamicTuner, TunedConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use trisolve_core::engine::{Backend, CpuBackend, GpuBackend};
 use trisolve_core::kernels::GpuScalar;
-use trisolve_core::{solver, CoreError, SolveOutcome};
+use trisolve_core::{CoreError, SolveOutcome};
 use trisolve_gpu_sim::{CpuSpec, Gpu};
-use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
 use trisolve_tridiag::workloads::WorkloadShape;
 use trisolve_tridiag::SystemBatch;
 
@@ -66,7 +66,9 @@ impl Dispatcher {
     }
 
     fn cpu_spec(&self) -> CpuSpec {
-        self.cpu.clone().unwrap_or_else(CpuSpec::core_i5_dual_3_4ghz)
+        self.cpu
+            .clone()
+            .unwrap_or_else(CpuSpec::core_i5_dual_3_4ghz)
     }
 
     /// The dispatch decision for a workload class, measuring (and tuning
@@ -97,9 +99,11 @@ impl Dispatcher {
         verdict
     }
 
-    /// Solve on whichever engine the (cached) verdict prefers. The CPU path
-    /// really solves on the host (sequential LU, like MKL); the GPU path
-    /// runs the tuned multi-stage solver.
+    /// Solve on whichever engine the (cached) verdict prefers, routed
+    /// through the matching [`Backend`]: the CPU path really solves on the
+    /// host (sequential LU, like MKL) under the calibrated timing model,
+    /// with `outcome.plan` recording what the GPU *would* have run; the GPU
+    /// path runs the tuned multi-stage solver.
     pub fn solve<T: GpuScalar>(
         &mut self,
         gpu: &mut Gpu<T>,
@@ -107,36 +111,21 @@ impl Dispatcher {
     ) -> Result<(SolveOutcome<T>, Engine), CoreError> {
         let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
         let verdict = self.decide(gpu, shape);
+        let params = verdict.gpu_config.params_for(shape);
         match verdict.engine {
             Engine::Gpu => {
-                let params = verdict.gpu_config.params_for(shape);
-                let outcome = solver::solve_batch_on_gpu(gpu, batch, &params)?;
+                let mut backend = GpuBackend::new(gpu);
+                let mut session = backend.prepare(shape, &params)?;
+                let outcome = backend.solve(&mut session, batch, &params)?;
                 Ok((outcome, Engine::Gpu))
             }
             Engine::Cpu => {
-                let x = solve_batch_sequential(batch, BatchAlgorithm::Lu)?;
-                let (cpu_s, _) = self
-                    .cpu_spec()
-                    .time_batch_lu_auto(batch.num_systems, batch.system_size);
-                // Package the CPU result in the same outcome shape so
-                // callers are engine-agnostic; the plan records what the
-                // GPU *would* have run.
-                let params = verdict.gpu_config.params_for(shape);
-                let plan = trisolve_core::SolvePlan::build(
-                    shape,
-                    &params,
-                    gpu.spec().queryable(),
-                    std::mem::size_of::<T>(),
-                )?;
-                Ok((
-                    SolveOutcome {
-                        x,
-                        sim_time_s: cpu_s,
-                        kernel_stats: Vec::new(),
-                        plan,
-                    },
-                    Engine::Cpu,
-                ))
+                let mut backend = CpuBackend::new(self.cpu_spec())
+                    .with_reference_device(gpu.spec().queryable().clone());
+                let mut session =
+                    <CpuBackend as Backend<T>>::prepare(&mut backend, shape, &params)?;
+                let outcome = backend.solve(&mut session, batch, &params)?;
+                Ok((outcome, Engine::Cpu))
             }
         }
     }

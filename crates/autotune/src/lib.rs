@@ -32,8 +32,8 @@ pub mod space;
 pub mod tuners;
 
 pub use auto::{ensure_tuned, solve_auto};
-pub use dispatch::{Dispatcher, Engine};
 pub use cache::TuningCache;
+pub use dispatch::{Dispatcher, Engine};
 pub use microbench::Microbench;
 pub use search::{exhaustive_pow2, hill_climb_pow2, SearchStats};
 pub use space::{decoupled_evaluations, joint_evaluations, Pow2Axis};

@@ -1,10 +1,13 @@
 //! Micro-benchmark harness for the dynamic tuner: generates (and caches)
 //! tuning workloads and measures candidate configurations on the simulated
-//! device.
+//! device through reusable [`SolveSession`]s.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use trisolve_core::engine::SolveSession;
 use trisolve_core::kernels::GpuScalar;
-use trisolve_core::{solver, CoreError, SolverParams};
+use trisolve_core::CoreError;
+use trisolve_core::SolverParams;
 use trisolve_gpu_sim::Gpu;
 use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 use trisolve_tridiag::SystemBatch;
@@ -14,8 +17,17 @@ use trisolve_tridiag::SystemBatch;
 const TUNING_SEED: u64 = 0x0007_1215_017e;
 
 /// Generates and caches tuning workloads; measures configurations.
+///
+/// Both the workload batch *and* a [`SolveSession`] are cached per shape,
+/// so the tuner's hot loop — hundreds of measurements over a handful of
+/// shapes — pays for padding, plan construction and device allocation once
+/// per shape instead of once per measurement. A harness is therefore tied
+/// to the first [`Gpu`] it measures each shape on (sessions hold device
+/// buffers); use one harness per device, as the tuners do.
 pub struct Microbench<T: GpuScalar> {
     batches: HashMap<WorkloadShape, SystemBatch<T>>,
+    sessions: HashMap<WorkloadShape, SolveSession<T>>,
+    reuse_sessions: bool,
     /// Total configurations measured (for reporting tuning cost).
     pub measurements: usize,
 }
@@ -31,7 +43,19 @@ impl<T: GpuScalar> Microbench<T> {
     pub fn new() -> Self {
         Self {
             batches: HashMap::new(),
+            sessions: HashMap::new(),
+            reuse_sessions: true,
             measurements: 0,
+        }
+    }
+
+    /// A harness that builds (and drops) a fresh session per measurement —
+    /// the pre-engine behaviour, kept for the `tuner_session_reuse` bench
+    /// so the reuse speedup stays visible in the perf trajectory.
+    pub fn without_session_reuse() -> Self {
+        Self {
+            reuse_sessions: false,
+            ..Self::new()
         }
     }
 
@@ -57,7 +81,24 @@ impl<T: GpuScalar> Microbench<T> {
             .batches
             .entry(shape)
             .or_insert_with(|| random_dominant(shape, TUNING_SEED).expect("valid tuning shape"));
-        match solver::measure_solve_time(gpu, batch, params) {
+        if !self.reuse_sessions {
+            // Pre-engine behaviour: a full one-shot solve per measurement —
+            // fresh session, re-allocation, and a result download.
+            let t = SolveSession::new(gpu, shape)
+                .and_then(|mut s| s.solve(gpu, batch, params))
+                .map(|o| o.sim_time_s);
+            return t.unwrap_or(f64::INFINITY);
+        }
+        let session = match self.sessions.entry(shape) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => match SolveSession::new(gpu, shape) {
+                Ok(s) => v.insert(s),
+                // The shape itself doesn't fit the device: every parameter
+                // point is unrunnable.
+                Err(_) => return f64::INFINITY,
+            },
+        };
+        match session.measure(gpu, batch, params) {
             Ok(t) => t,
             Err(CoreError::BadParams { .. })
             | Err(CoreError::Device(_))
@@ -65,12 +106,17 @@ impl<T: GpuScalar> Microbench<T> {
             Err(_) => f64::INFINITY,
         }
     }
+
+    /// Number of shapes with a live cached session.
+    pub fn cached_sessions(&self) -> usize {
+        self.sessions.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trisolve_core::BaseVariant;
+    use trisolve_core::{solver, BaseVariant};
     use trisolve_gpu_sim::DeviceSpec;
 
     #[test]
@@ -84,6 +130,20 @@ mod tests {
         assert!(t1.is_finite() && t1 > 0.0);
         assert_eq!(t1, t2); // deterministic
         assert_eq!(mb.measurements, 2);
+        assert_eq!(mb.cached_sessions(), 1);
+    }
+
+    #[test]
+    fn measurements_match_one_shot_solves() {
+        let mut mb: Microbench<f64> = Microbench::new();
+        let mut gpu = Gpu::new(DeviceSpec::gtx_470());
+        let shape = WorkloadShape::new(8, 1024);
+        let p = SolverParams::default_untuned();
+        let t_session = mb.measure(&mut gpu, shape, &p);
+        let batch = random_dominant::<f64>(shape, TUNING_SEED).unwrap();
+        let mut fresh: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let t_one_shot = solver::measure_solve_time(&mut fresh, &batch, &p).unwrap();
+        assert_eq!(t_session, t_one_shot);
     }
 
     #[test]
@@ -98,6 +158,11 @@ mod tests {
             variant: BaseVariant::Strided,
         };
         assert!(mb.measure(&mut gpu, shape, &p).is_infinite());
+        // The session survives the rejected point and keeps serving.
+        assert!(mb
+            .measure(&mut gpu, shape, &SolverParams::default_untuned())
+            .is_finite());
+        assert_eq!(mb.cached_sessions(), 1);
     }
 
     #[test]

@@ -23,8 +23,14 @@ pub struct Pow2Axis {
 impl Pow2Axis {
     /// Create an axis; panics if the bounds are not powers of two or empty.
     pub fn new(name: &'static str, min: usize, max: usize) -> Self {
-        assert!(min.is_power_of_two(), "{name}: min {min} not a power of two");
-        assert!(max.is_power_of_two(), "{name}: max {max} not a power of two");
+        assert!(
+            min.is_power_of_two(),
+            "{name}: min {min} not a power of two"
+        );
+        assert!(
+            max.is_power_of_two(),
+            "{name}: max {max} not a power of two"
+        );
         assert!(min <= max, "{name}: empty range {min}..={max}");
         Self { name, min, max }
     }

@@ -222,9 +222,23 @@ impl DynamicTuner {
         gpu: &mut Gpu<T>,
         shape: WorkloadShape,
     ) -> TunedConfig {
+        let mut mb: Microbench<T> = Microbench::new();
+        self.tune_for_with(gpu, shape, &mut mb)
+    }
+
+    /// [`DynamicTuner::tune_for`] with a caller-supplied measurement
+    /// harness — lets benches compare session-reusing and per-measurement
+    /// allocation behaviour, and lets callers share one harness (and its
+    /// cached sessions) across tuning runs on the same device.
+    pub fn tune_for_with<T: GpuScalar>(
+        &mut self,
+        gpu: &mut Gpu<T>,
+        shape: WorkloadShape,
+        mb: &mut Microbench<T>,
+    ) -> TunedConfig {
         let q = gpu.spec().queryable().clone();
         let eb = elem_bytes::<T>();
-        let mut mb: Microbench<T> = Microbench::new();
+        let evaluations_before = mb.measurements;
 
         let static_guess = StaticTuner.params_for(shape, &q, eb);
         let max_onchip = SolverParams::max_onchip_size(&q, eb);
@@ -269,8 +283,8 @@ impl DynamicTuner {
                 },
             )
         };
-        let t_str = measure_variant(&mut mb, gpu, BaseVariant::Strided, p1);
-        let t_coa = measure_variant(&mut mb, gpu, BaseVariant::Coalesced, p1);
+        let t_str = measure_variant(mb, gpu, BaseVariant::Strided, p1);
+        let t_coa = measure_variant(mb, gpu, BaseVariant::Coalesced, p1);
         let variant = if t_str <= t_coa {
             BaseVariant::Strided
         } else {
@@ -296,7 +310,8 @@ impl DynamicTuner {
             p1 = best_p1;
         }
 
-        let stride = shape.system_size.next_power_of_two() / onchip.min(shape.system_size.next_power_of_two());
+        let stride = shape.system_size.next_power_of_two()
+            / onchip.min(shape.system_size.next_power_of_two());
         let config = TunedConfig {
             onchip_size: onchip,
             thomas_switch,
@@ -306,7 +321,7 @@ impl DynamicTuner {
             },
             stage1_target_systems: p1,
             elem_bytes: eb,
-            evaluations: mb.measurements,
+            evaluations: mb.measurements - evaluations_before,
         };
         self.config = Some(config.clone());
         config
@@ -322,11 +337,8 @@ impl DynamicTuner {
 
         let max_onchip = SolverParams::max_onchip_size(&q, eb);
         let onchip_axis = Pow2Axis::new("onchip_size", 32.min(max_onchip), max_onchip);
-        let static_guess = StaticTuner.params_for(
-            WorkloadShape::new(1, budget.fill_system_size),
-            &q,
-            eb,
-        );
+        let static_guess =
+            StaticTuner.params_for(WorkloadShape::new(1, budget.fill_system_size), &q, eb);
 
         // ---- Phase A: on-chip size with nested Thomas switch ------------
         let fill_shape = WorkloadShape::new(

@@ -33,7 +33,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("dnc_fft");
     group.sample_size(10);
     let len = 1 << 16;
-    let re: Vec<f64> = (0..len).map(|i| ((i * 13 % 97) as f64) / 48.5 - 1.0).collect();
+    let re: Vec<f64> = (0..len)
+        .map(|i| ((i * 13 % 97) as f64) / 48.5 - 1.0)
+        .collect();
     let im = vec![0.0f64; len];
     group.throughput(Throughput::Elements(len as u64));
     group.bench_function("four_step_fft_64k", |b| {

@@ -85,5 +85,10 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_base_kernel, bench_full_pipeline, bench_variants);
+criterion_group!(
+    benches,
+    bench_base_kernel,
+    bench_full_pipeline,
+    bench_variants
+);
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_search_primitives(c: &mut Criterion) {
     c.bench_function("hill_climb_pow2_seeded", |b| {
         b.iter(|| hill_climb_pow2(axis, 2048, cost))
     });
-    c.bench_function("exhaustive_pow2", |b| b.iter(|| exhaustive_pow2(axis, cost)));
+    c.bench_function("exhaustive_pow2", |b| {
+        b.iter(|| exhaustive_pow2(axis, cost))
+    });
 }
 
 criterion_group!(benches, bench_tune_for, bench_search_primitives);

@@ -1,0 +1,44 @@
+//! Wall-clock cost of a full dynamic tune on the GTX 470, with and without
+//! [`SolveSession`] reuse in the micro-benchmark harness.
+//!
+//! The tuner's hot loop times dozens of candidate configurations on the
+//! same workload shape. With reuse (the default engine path) the session's
+//! plan cache, padded staging and device buffers persist across
+//! measurements; without it every measurement re-pads, re-allocates and
+//! re-uploads — the pre-engine behaviour. The gap between the two is the
+//! refactor's speedup, tracked here so regressions show up in the perf
+//! trajectory.
+//!
+//! [`SolveSession`]: trisolve_core::SolveSession
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trisolve_autotune::{DynamicTuner, Microbench};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_tridiag::workloads::WorkloadShape;
+
+fn bench_tuner_session_reuse(c: &mut Criterion) {
+    let shape = WorkloadShape::new(32, 2048);
+    let mut group = c.benchmark_group("tuner_session_reuse");
+    group.sample_size(10);
+
+    group.bench_function("gtx470_full_tune_with_reuse", |b| {
+        b.iter(|| {
+            let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+            let mut mb: Microbench<f32> = Microbench::new();
+            DynamicTuner::new().tune_for_with(&mut gpu, shape, &mut mb)
+        })
+    });
+
+    group.bench_function("gtx470_full_tune_without_reuse", |b| {
+        b.iter(|| {
+            let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+            let mut mb: Microbench<f32> = Microbench::without_session_reuse();
+            DynamicTuner::new().tune_for_with(&mut gpu, shape, &mut mb)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuner_session_reuse);
+criterion_main!(benches);

@@ -35,7 +35,6 @@ fn time_base_kernel<T: GpuScalar>(device: &DeviceSpec, m: usize, n: usize, t4: u
     solver::measure_solve_time(&mut gpu, &batch, &params).unwrap() * 1e3
 }
 
-
 fn time_baseline<T: GpuScalar>(
     device: &DeviceSpec,
     m: usize,
@@ -78,7 +77,13 @@ fn main() {
         "{}",
         report::render_table(
             "operations per system",
-            &["n", "PCR-Thomas", "CR-PCR (Zhang)", "pure PCR", "PCR/PCR-Thomas"],
+            &[
+                "n",
+                "PCR-Thomas",
+                "CR-PCR (Zhang)",
+                "pure PCR",
+                "PCR/PCR-Thomas"
+            ],
             &rows
         )
     );
@@ -145,7 +150,14 @@ fn main() {
             "{}",
             report::render_table(
                 dev.name(),
-                &["precision", "PCR-Thomas (ours)", "CR-PCR (Zhang)", "pure PCR", "pure CR", "Zhang/ours"],
+                &[
+                    "precision",
+                    "PCR-Thomas (ours)",
+                    "CR-PCR (Zhang)",
+                    "pure PCR",
+                    "pure CR",
+                    "Zhang/ours"
+                ],
                 &rows
             )
         );

@@ -15,7 +15,11 @@ use trisolve_core::BaseVariant;
 use trisolve_gpu_sim::{DeviceSpec, Gpu};
 use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 
-fn coeffs(gpu: &mut Gpu<f32>, total: usize, batch: &trisolve_tridiag::SystemBatch<f32>) -> CoeffBuffers {
+fn coeffs(
+    gpu: &mut Gpu<f32>,
+    total: usize,
+    batch: &trisolve_tridiag::SystemBatch<f32>,
+) -> CoeffBuffers {
     let _ = total;
     [
         gpu.alloc_from(&batch.a).unwrap(),
@@ -100,7 +104,13 @@ fn main() {
         "{}",
         report::render_table(
             "simulated ms per full solve of the chain batch",
-            &["stride", "strided gather", "coalesced over-fetch", "repack pipeline", "winner"],
+            &[
+                "stride",
+                "strided gather",
+                "coalesced over-fetch",
+                "repack pipeline",
+                "winner"
+            ],
             &rows
         )
     );

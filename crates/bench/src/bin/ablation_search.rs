@@ -37,7 +37,11 @@ fn main() {
     ];
     println!(
         "{}",
-        report::render_table("pruning by decoupling", &["axes", "joint", "decoupled"], &rows)
+        report::render_table(
+            "pruning by decoupling",
+            &["axes", "joint", "decoupled"],
+            &rows
+        )
     );
 
     // --- 2. Seeded hill climb vs exhaustive on a real tuning axis. ------
@@ -63,8 +67,9 @@ fn main() {
         )
     };
 
-    let (hc_best, hc_cost, hc_stats) =
-        hill_climb_pow2(axis, static_seed.onchip_size, |s3| eval(s3, &mut mb, &mut gpu));
+    let (hc_best, hc_cost, hc_stats) = hill_climb_pow2(axis, static_seed.onchip_size, |s3| {
+        eval(s3, &mut mb, &mut gpu)
+    });
     let (ex_best, ex_cost, ex_stats) = exhaustive_pow2(axis, |s3| eval(s3, &mut mb, &mut gpu));
 
     let rows = vec![

@@ -9,7 +9,11 @@ use trisolve_gpu_sim::DeviceSpec;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (m5, n5, spm6, shrink) = if quick { (256, 1024, 8, 4) } else { (1024, 1024, 32, 1) };
+    let (m5, n5, spm6, shrink) = if quick {
+        (256, 1024, 8, 4)
+    } else {
+        (1024, 1024, 32, 1)
+    };
 
     println!("=== Figure 5: stage-2->3 switch sweep (m={m5}, n={n5}) ===");
     for dev in DeviceSpec::paper_devices() {

@@ -37,11 +37,36 @@ fn main() {
             .iter()
             .max_by(|a, b| a.relative.total_cmp(&b.relative))
             .unwrap();
-        println!("best switch point: {}\n", best.onchip_size);
+        println!("best switch point: {}", best.onchip_size);
+
+        // Per-stage timeline of the best point (serde-JSON).
+        let batch = trisolve_tridiag::workloads::random_dominant::<f32>(
+            trisolve_tridiag::workloads::WorkloadShape::new(m, n),
+            experiments::EXPERIMENT_SEED,
+        )
+        .unwrap();
+        let params = trisolve_core::SolverParams {
+            stage1_target_systems: 16,
+            onchip_size: best.onchip_size,
+            thomas_switch: best.thomas_switch,
+            variant: best.variant,
+        };
+        if let Some(tl) = experiments::stage_timeline(&dev, &batch, &params) {
+            println!(
+                "timeline-json {}\n",
+                serde_json::to_string(&tl).expect("timeline serialises")
+            );
+        }
     }
 
-    println!("{}", report::compare_line("8800 GTX best S3", "256", "see above"));
-    println!("{}", report::compare_line("GTX 280 best S3", "512 (~256)", "see above"));
+    println!(
+        "{}",
+        report::compare_line("8800 GTX best S3", "256", "see above")
+    );
+    println!(
+        "{}",
+        report::compare_line("GTX 280 best S3", "512 (~256)", "see above")
+    );
     println!(
         "{}",
         report::compare_line("GTX 470 best S3", "512 (beats 1024)", "see above")

@@ -26,18 +26,53 @@ fn main() {
             .collect();
         println!(
             "{}",
-            report::render_table(dev.name(), &["T4 (subsystems)", "relative perf", "ms"], &rows)
+            report::render_table(
+                dev.name(),
+                &["T4 (subsystems)", "relative perf", "ms"],
+                &rows
+            )
         );
         let best = pts
             .iter()
             .max_by(|a, b| a.relative.total_cmp(&b.relative))
             .unwrap();
-        println!("best switch point: {}\n", best.thomas_switch);
+        println!("best switch point: {}", best.thomas_switch);
+
+        // Per-stage timeline of the best point (serde-JSON): all base-kernel
+        // time by construction (the workload fits on chip).
+        let n = trisolve_core::SolverParams::max_onchip_size(dev.queryable(), 4);
+        let m = spm * dev.queryable().num_processors;
+        let batch = trisolve_tridiag::workloads::random_dominant::<f32>(
+            trisolve_tridiag::workloads::WorkloadShape::new(m, n),
+            experiments::EXPERIMENT_SEED,
+        )
+        .unwrap();
+        let params = trisolve_core::SolverParams {
+            stage1_target_systems: 16,
+            onchip_size: n,
+            thomas_switch: best.thomas_switch,
+            variant: trisolve_core::BaseVariant::Strided,
+        };
+        if let Some(tl) = experiments::stage_timeline(&dev, &batch, &params) {
+            println!(
+                "timeline-json {}\n",
+                serde_json::to_string(&tl).expect("timeline serialises")
+            );
+        }
     }
 
-    println!("{}", report::compare_line("8800 GTX best T4", "64", "see above"));
-    println!("{}", report::compare_line("GTX 280 best T4", "128", "see above"));
-    println!("{}", report::compare_line("GTX 470 best T4", "128", "see above"));
+    println!(
+        "{}",
+        report::compare_line("8800 GTX best T4", "64", "see above")
+    );
+    println!(
+        "{}",
+        report::compare_line("GTX 280 best T4", "128", "see above")
+    );
+    println!(
+        "{}",
+        report::compare_line("GTX 470 best T4", "128", "see above")
+    );
     println!(
         "\nNote: the static tuner always guesses 64 (2 warps), so on the 280/470\n\
          dynamic tuning improves on it — the paper's Figure 6 punchline."

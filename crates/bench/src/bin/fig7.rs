@@ -49,6 +49,19 @@ fn main() {
         all.extend(cells);
     }
 
+    println!("== per-stage timelines (dynamically tuned, serde-JSON) ==");
+    for c in &all {
+        if let Some(tl) = &c.dynamic_timeline {
+            println!(
+                "timeline-json {{\"device\":{:?},\"workload\":{:?},\"timeline\":{}}}",
+                c.device,
+                c.shape.label(),
+                serde_json::to_string(tl).expect("timeline serialises")
+            );
+        }
+    }
+    println!();
+
     let s = experiments::fig7_summary(&all);
     println!("== headline numbers (paper §V) ==");
     println!(

@@ -42,6 +42,18 @@ fn main() {
         )
     );
 
+    println!("== per-stage timelines (GTX 470, dynamically tuned, serde-JSON) ==");
+    for r in &rows {
+        if let Some(tl) = &r.gpu_timeline {
+            println!(
+                "timeline-json {{\"workload\":{:?},\"timeline\":{}}}",
+                r.shape.label(),
+                serde_json::to_string(tl).expect("timeline serialises")
+            );
+        }
+    }
+    println!();
+
     if shrink == 1 {
         println!("paper values for comparison:");
         for (label, g, c, s) in PAPER {

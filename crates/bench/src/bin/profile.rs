@@ -5,8 +5,8 @@
 //! `cargo run --release -p trisolve-bench --bin profile -- [m] [n]`
 
 use trisolve_autotune::{DynamicTuner, Tuner};
-use trisolve_bench::report;
-use trisolve_core::solve_batch_on_gpu;
+use trisolve_bench::{experiments, report};
+use trisolve_core::StageTimeline;
 use trisolve_gpu_sim::{DeviceSpec, Gpu};
 use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 
@@ -25,8 +25,7 @@ fn main() {
         let mut tuner = DynamicTuner::new();
         let cfg = tuner.tune_for(&mut gpu, shape);
         let params = tuner.params_for(shape, gpu.spec().queryable(), 4);
-        let mut fresh: Gpu<f32> = Gpu::new(device.clone());
-        let out = solve_batch_on_gpu(&mut fresh, &batch, &params).unwrap();
+        let out = experiments::solve_outcome::<f32>(&device, &batch, &params).unwrap();
 
         println!(
             "--- {} | {} | tuned S3={} T4={} P1={} {:?} ({} evals) ---",
@@ -61,6 +60,15 @@ fn main() {
                 &["kernel", "grid", "thr", "res b/w", "limit", "coal", "exec ms", "ovh ms"],
                 &rows
             )
+        );
+
+        // Per-stage aggregation of the same launches: stage1/stage2/base
+        // totals plus the serde-JSON form for downstream tooling.
+        let timeline = StageTimeline::from_outcome(&out);
+        println!("{}", timeline.render_table());
+        println!(
+            "timeline-json {}",
+            serde_json::to_string(&timeline).expect("timeline serialises")
         );
     }
 }

@@ -31,7 +31,11 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::render_table("Table II: queryable CUDA device properties", &["Query Parameter", "Description"], &rows)
+        report::render_table(
+            "Table II: queryable CUDA device properties",
+            &["Query Parameter", "Description"],
+            &rows
+        )
     );
 
     println!("Values per device (as returned by `DeviceSpec::queryable()`):\n");

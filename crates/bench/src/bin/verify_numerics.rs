@@ -32,14 +32,20 @@ fn main() {
         ("poisson", workloads::poisson_1d(shape, 1).unwrap()),
         ("adi", workloads::adi_heat_lines(shape, 0.7).unwrap()),
         ("spline", workloads::cubic_spline(shape, 1).unwrap()),
-        ("toeplitz", workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap()),
+        (
+            "toeplitz",
+            workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap(),
+        ),
     ];
     let classes32: Vec<(&str, SystemBatch<f32>)> = vec![
         ("random", workloads::random_dominant(shape, 1).unwrap()),
         ("poisson", workloads::poisson_1d(shape, 1).unwrap()),
         ("adi", workloads::adi_heat_lines(shape, 0.7).unwrap()),
         ("spline", workloads::cubic_spline(shape, 1).unwrap()),
-        ("toeplitz", workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap()),
+        (
+            "toeplitz",
+            workloads::toeplitz(shape, -1.0, 3.0, -1.0).unwrap(),
+        ),
     ];
 
     let mut failures = 0usize;

@@ -6,8 +6,9 @@
 //! reproduction targets (see EXPERIMENTS.md).
 
 use trisolve_autotune::{DefaultTuner, DynamicTuner, StaticTuner, Tuner};
+use trisolve_core::engine::{Backend, GpuBackend, StageTimeline};
 use trisolve_core::kernels::GpuScalar;
-use trisolve_core::{solver, SolverParams};
+use trisolve_core::{solver, SolveOutcome, SolverParams};
 use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu};
 use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 use trisolve_tridiag::SystemBatch;
@@ -29,6 +30,30 @@ pub fn solve_ms<T: GpuScalar>(
     }
 }
 
+/// Solve one configuration on one device through the [`GpuBackend`] engine,
+/// returning the full outcome (`None` if the configuration cannot run).
+pub fn solve_outcome<T: GpuScalar>(
+    device: &DeviceSpec,
+    batch: &SystemBatch<T>,
+    params: &SolverParams,
+) -> Option<SolveOutcome<T>> {
+    let mut gpu: Gpu<T> = Gpu::new(device.clone());
+    let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
+    let mut backend = GpuBackend::new(&mut gpu);
+    let mut session = backend.prepare(shape, params).ok()?;
+    backend.solve(&mut session, batch, params).ok()
+}
+
+/// The per-stage [`StageTimeline`] of one configuration on one device
+/// (`None` if the configuration cannot run).
+pub fn stage_timeline<T: GpuScalar>(
+    device: &DeviceSpec,
+    batch: &SystemBatch<T>,
+    params: &SolverParams,
+) -> Option<StageTimeline> {
+    solve_outcome(device, batch, params).map(|o| StageTimeline::from_outcome(&o))
+}
+
 // ---------------------------------------------------------------------------
 // Figure 5: stage-2 -> stage-3 switch point sweep
 // ---------------------------------------------------------------------------
@@ -41,6 +66,8 @@ pub struct Fig5Point {
     /// The Thomas switch re-tuned for this on-chip size (the paper re-tunes
     /// it per candidate).
     pub thomas_switch: usize,
+    /// The better base-kernel memory layout at this point.
+    pub variant: trisolve_core::BaseVariant,
     /// Simulated milliseconds.
     pub time_ms: f64,
     /// Performance relative to the best point (1.0 = best), the figure's
@@ -63,10 +90,11 @@ pub fn fig5_sweep(device: &DeviceSpec, m: usize, n: usize) -> Vec<Fig5Point> {
         if s3 > max_onchip || s3 > n {
             continue;
         }
-        let (t4, ms) = best_t4_and_time(device, &batch, s3);
+        let (t4, variant, ms) = best_t4_and_time(device, &batch, s3);
         points.push(Fig5Point {
             onchip_size: s3,
             thomas_switch: t4,
+            variant,
             time_ms: ms,
             relative: 0.0,
         });
@@ -83,9 +111,13 @@ pub fn fig5_sweep(device: &DeviceSpec, m: usize, n: usize) -> Vec<Fig5Point> {
 
 /// For a fixed on-chip size, find the best (Thomas switch, variant) and
 /// return it with the best time.
-fn best_t4_and_time(device: &DeviceSpec, batch: &SystemBatch<f32>, s3: usize) -> (usize, f64) {
+fn best_t4_and_time(
+    device: &DeviceSpec,
+    batch: &SystemBatch<f32>,
+    s3: usize,
+) -> (usize, trisolve_core::BaseVariant, f64) {
     use trisolve_core::BaseVariant;
-    let mut best = (32usize, f64::INFINITY);
+    let mut best = (32usize, BaseVariant::Strided, f64::INFINITY);
     let mut t4 = 16usize;
     while t4 <= s3 {
         for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
@@ -96,8 +128,8 @@ fn best_t4_and_time(device: &DeviceSpec, batch: &SystemBatch<f32>, s3: usize) ->
                 variant,
             };
             let ms = solve_ms(device, batch, &p);
-            if ms < best.1 {
-                best = (t4, ms);
+            if ms < best.2 {
+                best = (t4, variant, ms);
             }
         }
         t4 *= 2;
@@ -174,6 +206,9 @@ pub struct Fig7Cell {
     pub static_ms: f64,
     /// Dynamically tuned time, ms.
     pub dynamic_ms: f64,
+    /// Per-stage timeline of the dynamically tuned solve (`None` if the
+    /// tuned configuration could not run).
+    pub dynamic_timeline: Option<StageTimeline>,
 }
 
 /// Aggregates over the Figure 7 grid (the §V headline numbers).
@@ -205,17 +240,21 @@ pub fn fig7_device(device: &DeviceSpec, shapes: &[WorkloadShape]) -> Vec<Fig7Cel
                 let mut gpu: Gpu<f32> = Gpu::new(device.clone());
                 dynamic.tune_for(&mut gpu, shape);
             }
-            let run = |tuner: &dyn Tuner| {
+            let tuned = |tuner: &dyn Tuner| {
                 let params = tuner.params_for(shape, &q, 4);
-                let params = trisolve_autotune::tuners::clamp_to_device(params, &q, 4);
-                solve_ms(device, &batch, &params)
+                trisolve_autotune::tuners::clamp_to_device(params, &q, 4)
             };
+            // The dynamic solve goes through the engine once so its outcome
+            // also yields the per-stage timeline; the session's simulated
+            // time is identical to `solve_ms` (same launches, same stats).
+            let dyn_out = solve_outcome::<f32>(device, &batch, &tuned(&dynamic));
             Fig7Cell {
                 device: q.name.clone(),
                 shape,
-                untuned_ms: run(&DefaultTuner),
-                static_ms: run(&StaticTuner),
-                dynamic_ms: run(&dynamic),
+                untuned_ms: solve_ms(device, &batch, &tuned(&DefaultTuner)),
+                static_ms: solve_ms(device, &batch, &tuned(&StaticTuner)),
+                dynamic_ms: dyn_out.as_ref().map_or(f64::INFINITY, |o| o.sim_time_ms()),
+                dynamic_timeline: dyn_out.map(|o| StageTimeline::from_outcome(&o)),
             }
         })
         .collect()
@@ -257,6 +296,8 @@ pub struct Fig8Row {
     pub cpu_threads: usize,
     /// `cpu_ms / gpu_ms` (the paper's 11×/7×/6×/0.7× labels).
     pub speedup: f64,
+    /// Per-stage timeline of the tuned GPU solve (`None` if it cannot run).
+    pub gpu_timeline: Option<StageTimeline>,
 }
 
 /// Run the Figure 8 comparison over a workload grid.
@@ -275,7 +316,8 @@ pub fn fig8_comparison(shapes: &[WorkloadShape]) -> Vec<Fig8Row> {
                 dynamic.tune_for(&mut gpu, shape);
             }
             let params = dynamic.params_for(shape, &q, 4);
-            let gpu_ms = solve_ms(&device, &batch, &params);
+            let out = solve_outcome::<f32>(&device, &batch, &params);
+            let gpu_ms = out.as_ref().map_or(f64::INFINITY, |o| o.sim_time_ms());
             let (cpu_s, threads) = cpu.time_batch_lu_auto(shape.num_systems, shape.system_size);
             let cpu_ms = cpu_s * 1e3;
             Fig8Row {
@@ -284,6 +326,7 @@ pub fn fig8_comparison(shapes: &[WorkloadShape]) -> Vec<Fig8Row> {
                 cpu_ms,
                 cpu_threads: threads,
                 speedup: cpu_ms / gpu_ms,
+                gpu_timeline: out.map(|o| StageTimeline::from_outcome(&o)),
             }
         })
         .collect()

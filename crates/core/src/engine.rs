@@ -1,0 +1,759 @@
+//! The execution engine: *where* a batch is solved, behind one interface.
+//!
+//! Three pieces compose here:
+//!
+//! * [`Backend`] — the trait both execution targets implement. The
+//!   [`GpuBackend`] runs the multi-stage plan on the simulated device; the
+//!   [`CpuBackend`] runs the host reference solvers of
+//!   `trisolve_tridiag::cpu_batch` under the calibrated CPU timing model.
+//!   Callers that dispatch between engines (`trisolve-autotune`) program
+//!   against the trait, not against either implementation.
+//! * [`SolveSession`] — a reusable per-shape context. Repeated solves of
+//!   the same workload shape (the dynamic tuner's micro-benchmark loop,
+//!   Criterion benches) skip plan construction, padded-staging allocation
+//!   and device (re)allocation: the session owns the padded host staging
+//!   plus persistent device buffers behind RAII
+//!   [`DeviceBuffer`](trisolve_gpu_sim::DeviceBuffer) guards, and caches
+//!   built [`SolvePlan`]s per parameter point. Dropping the session frees
+//!   everything — including on kernel-error paths, where no manual
+//!   `gpu.free()` bookkeeping exists to get wrong.
+//! * [`StageTimeline`] — a serialisable per-stage profile aggregated from
+//!   the launch-by-launch [`KernelStats`], replacing ad-hoc accounting in
+//!   the reporting binaries.
+
+use crate::kernels::{base_solve, elem_bytes, stage1_step, stage2_split, CoeffBuffers, GpuScalar};
+use crate::params::SolverParams;
+use crate::plan::{SolvePlan, StageOp};
+use crate::solver::SolveOutcome;
+use crate::{CoreError, Result};
+use serde::Serialize;
+use std::collections::HashMap;
+use trisolve_gpu_sim::{CpuSpec, DeviceBuffer, DeviceSpec, Gpu, KernelStats, QueryableProps};
+use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
+use trisolve_tridiag::workloads::WorkloadShape;
+use trisolve_tridiag::{Scalar, SystemBatch};
+
+// ---------------------------------------------------------------------------
+// StageTimeline
+// ---------------------------------------------------------------------------
+
+/// One kernel family's aggregate cost within a [`StageTimeline`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageTimelineEntry {
+    /// Stage name: the kernel label prefix before the first `[` (`stage1`,
+    /// `stage2`, `base`, …).
+    pub stage: String,
+    /// Number of kernel launches attributed to this stage.
+    pub launches: usize,
+    /// Total simulated milliseconds (execution + launch overhead).
+    pub sim_time_ms: f64,
+    /// Simulated execution milliseconds (overhead excluded).
+    pub exec_time_ms: f64,
+    /// Simulated launch-overhead milliseconds.
+    pub overhead_ms: f64,
+    /// Useful global-memory traffic in MiB (reads + writes).
+    pub gmem_payload_mib: f64,
+    /// Launch-averaged resident warps per SM (the occupancy the stage
+    /// actually achieved).
+    pub mean_warps_per_sm: f64,
+}
+
+/// A per-stage breakdown of a solve, aggregated from per-launch
+/// [`KernelStats`] in execution order. Serialisable, so reporting binaries
+/// can emit it as JSON next to the figures they reproduce.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageTimeline {
+    /// Total simulated milliseconds across every launch.
+    pub total_ms: f64,
+    /// Total number of kernel launches.
+    pub launches: usize,
+    /// Per-stage aggregates, ordered by first launch.
+    pub stages: Vec<StageTimelineEntry>,
+}
+
+impl StageTimeline {
+    /// Aggregate a launch sequence by kernel family (label prefix before
+    /// the first `[`), preserving first-launch order.
+    pub fn from_stats(stats: &[KernelStats]) -> Self {
+        let mut stages: Vec<StageTimelineEntry> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut total_ms = 0.0;
+        for s in stats {
+            let family = s.label.split('[').next().unwrap_or(&s.label).to_string();
+            let i = *index.entry(family.clone()).or_insert_with(|| {
+                stages.push(StageTimelineEntry {
+                    stage: family,
+                    launches: 0,
+                    sim_time_ms: 0.0,
+                    exec_time_ms: 0.0,
+                    overhead_ms: 0.0,
+                    gmem_payload_mib: 0.0,
+                    mean_warps_per_sm: 0.0,
+                });
+                stages.len() - 1
+            });
+            let e = &mut stages[i];
+            e.launches += 1;
+            e.sim_time_ms += s.total_time_ms();
+            e.exec_time_ms += s.exec_time_s * 1e3;
+            e.overhead_ms += s.overhead_s * 1e3;
+            e.gmem_payload_mib += s.totals.gmem_payload_bytes() / (1024.0 * 1024.0);
+            // Accumulate; averaged below.
+            e.mean_warps_per_sm += s.residency.warps_per_sm as f64;
+            total_ms += s.total_time_ms();
+        }
+        for e in &mut stages {
+            e.mean_warps_per_sm /= e.launches as f64;
+        }
+        Self {
+            total_ms,
+            launches: stats.len(),
+            stages,
+        }
+    }
+
+    /// The timeline of a completed solve.
+    pub fn from_outcome<T: Scalar>(outcome: &SolveOutcome<T>) -> Self {
+        Self::from_stats(&outcome.kernel_stats)
+    }
+
+    /// Fixed-width table rendering, one row per stage.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12} {:>12} {:>14} {:>10}\n",
+            "stage", "launches", "time (ms)", "exec (ms)", "payload (MiB)", "warps/SM"
+        ));
+        for e in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>12.6} {:>12.6} {:>14.3} {:>10.1}\n",
+                e.stage,
+                e.launches,
+                e.sim_time_ms,
+                e.exec_time_ms,
+                e.gmem_payload_mib,
+                e.mean_warps_per_sm
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>12.6}\n",
+            "total", self.launches, self.total_ms
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveSession (GPU)
+// ---------------------------------------------------------------------------
+
+/// A reusable GPU solve context for one workload shape.
+///
+/// Owns the padded host staging buffer and nine persistent device buffers
+/// (4 source coefficient arrays, 4 double-buffer destinations, 1 solution),
+/// all behind RAII guards, plus a cache of built [`SolvePlan`]s keyed by
+/// [`SolverParams`]. Repeated [`SolveSession::solve`] /
+/// [`SolveSession::measure`] calls over the same shape — the dynamic
+/// tuner's hot loop — re-upload coefficients (the in-place double-buffered
+/// stages consume them) but skip padding-buffer allocation, device
+/// allocation and plan construction.
+///
+/// A session is tied to the [`Gpu`] it was prepared on; using it with a
+/// different device is a logic error and surfaces as an invalid-buffer
+/// device error.
+#[derive(Debug)]
+pub struct SolveSession<T: GpuScalar> {
+    shape: WorkloadShape,
+    padded_size: usize,
+    device: QueryableProps,
+    plans: HashMap<SolverParams, SolvePlan>,
+    /// Host-side padding scratch (empty while `padded_size == system_size`,
+    /// where uploads borrow straight from the batch).
+    staging: Vec<T>,
+    src: [DeviceBuffer; 4],
+    dst: [DeviceBuffer; 4],
+    x: DeviceBuffer,
+}
+
+impl<T: GpuScalar> SolveSession<T> {
+    /// Allocate a session's device buffers for `shape` on `gpu`.
+    pub fn new(gpu: &mut Gpu<T>, shape: WorkloadShape) -> Result<Self> {
+        if shape.num_systems == 0 || shape.system_size == 0 {
+            return Err(CoreError::BadParams {
+                detail: "workload must have at least one system and one equation".into(),
+            });
+        }
+        let padded_size = shape.system_size.next_power_of_two();
+        let total = shape.num_systems * padded_size;
+        let alloc4 = |gpu: &mut Gpu<T>| -> Result<[DeviceBuffer; 4]> {
+            Ok([
+                gpu.alloc_guarded(total)?,
+                gpu.alloc_guarded(total)?,
+                gpu.alloc_guarded(total)?,
+                gpu.alloc_guarded(total)?,
+            ])
+        };
+        let src = alloc4(gpu)?;
+        let dst = alloc4(gpu)?;
+        let x = gpu.alloc_guarded(total)?;
+        Ok(Self {
+            shape,
+            padded_size,
+            device: gpu.spec().queryable().clone(),
+            plans: HashMap::new(),
+            staging: Vec::new(),
+            src,
+            dst,
+            x,
+        })
+    }
+
+    /// The workload shape this session was prepared for.
+    pub fn shape(&self) -> WorkloadShape {
+        self.shape
+    }
+
+    /// The padded (power-of-two) per-system size.
+    pub fn padded_size(&self) -> usize {
+        self.padded_size
+    }
+
+    /// Number of distinct parameter points with a cached plan.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The cached plan for `params`, building (and validating) on first use.
+    pub fn plan_for(&mut self, params: &SolverParams) -> Result<&SolvePlan> {
+        match self.plans.entry(*params) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let plan = SolvePlan::build(self.shape, params, &self.device, elem_bytes::<T>())?;
+                Ok(v.insert(plan))
+            }
+        }
+    }
+
+    fn check_batch(&self, batch: &SystemBatch<T>) -> Result<()> {
+        if batch.num_systems != self.shape.num_systems
+            || batch.system_size != self.shape.system_size
+        {
+            return Err(CoreError::BadParams {
+                detail: format!(
+                    "session prepared for {}x{} systems, got {}x{}",
+                    self.shape.num_systems,
+                    self.shape.system_size,
+                    batch.num_systems,
+                    batch.system_size
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Upload the batch's four coefficient arrays into the session's source
+    /// buffers, padding each system to the power-of-two size with decoupled
+    /// identity rows (b = 1, everything else 0): they solve to zero and PCR
+    /// leaves them decoupled, so the original solutions are unaffected.
+    ///
+    /// When no padding is needed the upload borrows straight from the batch
+    /// — no host-side copy at all.
+    fn upload_coefficients(&mut self, gpu: &mut Gpu<T>, batch: &SystemBatch<T>) -> Result<()> {
+        let m = self.shape.num_systems;
+        let n = self.shape.system_size;
+        let np = self.padded_size;
+        let arrays: [(&[T], bool); 4] = [
+            (&batch.a, false),
+            (&batch.b, true),
+            (&batch.c, false),
+            (&batch.d, false),
+        ];
+        if np == n {
+            for (i, (data, _)) in arrays.iter().enumerate() {
+                gpu.upload(self.src[i].id(), data)?;
+            }
+            return Ok(());
+        }
+        self.staging.resize(m * np, T::ZERO);
+        for (i, (data, pad_with_one)) in arrays.iter().enumerate() {
+            let fill = if *pad_with_one { T::ONE } else { T::ZERO };
+            for s in 0..m {
+                self.staging[s * np..s * np + n].copy_from_slice(&data[s * n..(s + 1) * n]);
+                for v in &mut self.staging[s * np + n..(s + 1) * np] {
+                    *v = fill;
+                }
+            }
+            gpu.upload(self.src[i].id(), &self.staging)?;
+        }
+        Ok(())
+    }
+
+    /// Run the plan's stage sequence. Returns the simulated time and the
+    /// per-launch stats of this solve only.
+    fn execute(&self, gpu: &mut Gpu<T>, plan: &SolvePlan) -> Result<(f64, Vec<KernelStats>)> {
+        let m = self.shape.num_systems;
+        let np = self.padded_size;
+        let mut cur: CoeffBuffers = [
+            self.src[0].id(),
+            self.src[1].id(),
+            self.src[2].id(),
+            self.src[3].id(),
+        ];
+        let mut alt: CoeffBuffers = [
+            self.dst[0].id(),
+            self.dst[1].id(),
+            self.dst[2].id(),
+            self.dst[3].id(),
+        ];
+        let x = self.x.id();
+
+        let launches_before = gpu.timeline().len();
+        for op in &plan.ops {
+            match *op {
+                StageOp::Stage1Split { stride, .. } => {
+                    stage1_step(gpu, cur, alt, m, np, stride)?;
+                    std::mem::swap(&mut cur, &mut alt);
+                }
+                StageOp::Stage2Split {
+                    stride_in, steps, ..
+                } => {
+                    stage2_split(gpu, cur, alt, m, np, stride_in, steps)?;
+                    std::mem::swap(&mut cur, &mut alt);
+                }
+                StageOp::BaseSolve {
+                    chain_len,
+                    stride,
+                    thomas_chains,
+                    variant,
+                    ..
+                } => {
+                    base_solve(
+                        gpu,
+                        cur,
+                        x,
+                        m,
+                        np,
+                        chain_len,
+                        stride,
+                        thomas_chains,
+                        variant,
+                    )?;
+                }
+            }
+        }
+        let kernel_stats = gpu.timeline()[launches_before..].to_vec();
+        // Left-fold over the launches in order: exactly what a fresh
+        // device clock accumulates, and — unlike an `elapsed_s()` delta —
+        // independent of whatever simulated time preceded this solve. The
+        // same parameter point therefore times identically on the first
+        // and the thousandth reuse of a session.
+        let sim_time_s = kernel_stats.iter().map(KernelStats::total_time_s).sum();
+        Ok((sim_time_s, kernel_stats))
+    }
+
+    /// Solve `batch` with `params`, reusing the session's buffers and plan
+    /// cache. Identical results (bit-for-bit) and simulated timings to a
+    /// one-shot [`crate::solver::solve_batch_on_gpu`] call.
+    pub fn solve(
+        &mut self,
+        gpu: &mut Gpu<T>,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<SolveOutcome<T>> {
+        self.check_batch(batch)?;
+        let plan = self.plan_for(params)?.clone();
+        self.upload_coefficients(gpu, batch)?;
+        let (sim_time_s, kernel_stats) = self.execute(gpu, &plan)?;
+
+        let m = self.shape.num_systems;
+        let n = self.shape.system_size;
+        let np = self.padded_size;
+        let x_padded = gpu.download(self.x.id())?;
+        let mut x_out = Vec::with_capacity(m * n);
+        for s in 0..m {
+            x_out.extend_from_slice(&x_padded[s * np..s * np + n]);
+        }
+        Ok(SolveOutcome {
+            x: x_out,
+            sim_time_s,
+            kernel_stats,
+            plan,
+        })
+    }
+
+    /// Solve and report only the simulated time — the tuner's measurement
+    /// primitive. Skips the solution download and unpadding (which cost no
+    /// simulated time, so the reading is identical to
+    /// [`SolveSession::solve`]'s `sim_time_s`).
+    pub fn measure(
+        &mut self,
+        gpu: &mut Gpu<T>,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<f64> {
+        self.check_batch(batch)?;
+        let plan = self.plan_for(params)?.clone();
+        self.upload_coefficients(gpu, batch)?;
+        let (sim_time_s, _) = self.execute(gpu, &plan)?;
+        Ok(sim_time_s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend trait and implementations
+// ---------------------------------------------------------------------------
+
+/// An execution target for batched tridiagonal solves.
+///
+/// Both engines — the simulated-GPU multi-stage solver and the host
+/// reference solver — expose the same three-step protocol: `prepare` a
+/// reusable session for a workload shape (validating the parameter point),
+/// then `solve` or `measure` through it as many times as needed.
+pub trait Backend<T: GpuScalar> {
+    /// The reusable per-shape context this backend hands out.
+    type Session;
+
+    /// Short engine name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Build a session for `shape`, validating `params` eagerly (the plan
+    /// for `params` is built and cached).
+    fn prepare(&mut self, shape: WorkloadShape, params: &SolverParams) -> Result<Self::Session>;
+
+    /// Solve a batch through a prepared session.
+    fn solve(
+        &mut self,
+        session: &mut Self::Session,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<SolveOutcome<T>>;
+
+    /// Report the simulated time of solving `batch` through `session`.
+    fn measure(
+        &mut self,
+        session: &mut Self::Session,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<f64>;
+}
+
+/// The simulated-GPU engine: multi-stage plan execution on a borrowed
+/// device.
+#[derive(Debug)]
+pub struct GpuBackend<'g, T: GpuScalar> {
+    gpu: &'g mut Gpu<T>,
+}
+
+impl<'g, T: GpuScalar> GpuBackend<'g, T> {
+    /// Wrap a device.
+    pub fn new(gpu: &'g mut Gpu<T>) -> Self {
+        Self { gpu }
+    }
+
+    /// The underlying device (e.g. to inspect the timeline after solves).
+    pub fn gpu(&mut self) -> &mut Gpu<T> {
+        self.gpu
+    }
+}
+
+impl<T: GpuScalar> Backend<T> for GpuBackend<'_, T> {
+    type Session = SolveSession<T>;
+
+    fn name(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn prepare(&mut self, shape: WorkloadShape, params: &SolverParams) -> Result<Self::Session> {
+        let mut session = SolveSession::new(self.gpu, shape)?;
+        session.plan_for(params)?;
+        Ok(session)
+    }
+
+    fn solve(
+        &mut self,
+        session: &mut Self::Session,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<SolveOutcome<T>> {
+        session.solve(self.gpu, batch, params)
+    }
+
+    fn measure(
+        &mut self,
+        session: &mut Self::Session,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<f64> {
+        session.measure(self.gpu, batch, params)
+    }
+}
+
+/// A [`CpuBackend`] session: the workload shape plus the record-keeping
+/// plans (what the GPU *would* have run, so engine-agnostic callers can
+/// still inspect `outcome.plan`).
+#[derive(Debug)]
+pub struct CpuSession {
+    shape: WorkloadShape,
+    plans: HashMap<SolverParams, SolvePlan>,
+}
+
+impl CpuSession {
+    /// The workload shape this session was prepared for.
+    pub fn shape(&self) -> WorkloadShape {
+        self.shape
+    }
+}
+
+/// The host engine: batched reference solves (sequential LU by default, the
+/// MKL analogue) timed by the calibrated [`CpuSpec`] model.
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    cpu: CpuSpec,
+    algorithm: BatchAlgorithm,
+    /// Reference device the record-keeping plans are built against.
+    device: QueryableProps,
+}
+
+impl CpuBackend {
+    /// A CPU engine with the given timing model, solving with sequential LU
+    /// (partial pivoting — the robust path the paper compares against).
+    /// Record-keeping plans are built against the paper's GTX 470 unless
+    /// overridden with [`CpuBackend::with_reference_device`].
+    pub fn new(cpu: CpuSpec) -> Self {
+        Self {
+            cpu,
+            algorithm: BatchAlgorithm::Lu,
+            device: DeviceSpec::gtx_470().queryable().clone(),
+        }
+    }
+
+    /// Build the record-keeping plans against this device instead (useful
+    /// when dispatching against a specific GPU, so `outcome.plan` records
+    /// what *that* device would have run).
+    pub fn with_reference_device(mut self, device: QueryableProps) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// A session seeded with an already-built plan: no re-validation, and
+    /// `outcome.plan` reproduces `plan` exactly. The way to cross-check a
+    /// finished GPU outcome whose plan may target a different device.
+    pub fn prepare_with_plan(&self, plan: SolvePlan) -> CpuSession {
+        let shape = plan.shape;
+        let mut plans = HashMap::new();
+        plans.insert(plan.params, plan);
+        CpuSession { shape, plans }
+    }
+
+    /// Override the batch algorithm (e.g. [`BatchAlgorithm::Thomas`]).
+    pub fn with_algorithm(mut self, algorithm: BatchAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The CPU timing model in use.
+    pub fn cpu_spec(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// Modelled seconds for a whole batch (threads chosen automatically).
+    fn model_time(&self, shape: WorkloadShape) -> f64 {
+        self.cpu
+            .time_batch_lu_auto(shape.num_systems, shape.system_size)
+            .0
+    }
+}
+
+impl<T: GpuScalar> Backend<T> for CpuBackend {
+    type Session = CpuSession;
+
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn prepare(&mut self, shape: WorkloadShape, params: &SolverParams) -> Result<Self::Session> {
+        let plan = SolvePlan::build(shape, params, &self.device, elem_bytes::<T>())?;
+        let mut plans = HashMap::new();
+        plans.insert(*params, plan);
+        Ok(CpuSession { shape, plans })
+    }
+
+    fn solve(
+        &mut self,
+        session: &mut Self::Session,
+        batch: &SystemBatch<T>,
+        params: &SolverParams,
+    ) -> Result<SolveOutcome<T>> {
+        let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
+        if shape != session.shape {
+            return Err(CoreError::BadParams {
+                detail: format!(
+                    "session prepared for {}x{} systems, got {}x{}",
+                    session.shape.num_systems,
+                    session.shape.system_size,
+                    shape.num_systems,
+                    shape.system_size
+                ),
+            });
+        }
+        let plan = match session.plans.entry(*params) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(SolvePlan::build(
+                shape,
+                params,
+                &self.device,
+                elem_bytes::<T>(),
+            )?),
+        }
+        .clone();
+        let x = solve_batch_sequential(batch, self.algorithm)?;
+        Ok(SolveOutcome {
+            x,
+            sim_time_s: self.model_time(shape),
+            kernel_stats: Vec::new(),
+            plan,
+        })
+    }
+
+    fn measure(
+        &mut self,
+        session: &mut Self::Session,
+        _batch: &SystemBatch<T>,
+        _params: &SolverParams,
+    ) -> Result<f64> {
+        // The CPU side's timing is an analytic model: no need to actually
+        // factorise to read the clock.
+        Ok(self.model_time(session.shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BaseVariant;
+    use crate::solver::solve_batch_on_gpu;
+    use trisolve_gpu_sim::DeviceSpec;
+    use trisolve_tridiag::norms::batch_worst_relative_residual;
+    use trisolve_tridiag::workloads::random_dominant;
+
+    fn params(p1: usize, s3: usize, t4: usize) -> SolverParams {
+        SolverParams {
+            stage1_target_systems: p1,
+            onchip_size: s3,
+            thomas_switch: t4,
+            variant: BaseVariant::Strided,
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_one_shot() {
+        let shape = WorkloadShape::new(4, 1500); // padding path: np = 2048
+        let p = params(16, 256, 32);
+        let mut session_gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let mut session = SolveSession::new(&mut session_gpu, shape).unwrap();
+        for seed in [1, 2, 3] {
+            let batch = random_dominant::<f64>(shape, seed).unwrap();
+            let from_session = session.solve(&mut session_gpu, &batch, &p).unwrap();
+            let mut fresh: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            let one_shot = solve_batch_on_gpu(&mut fresh, &batch, &p).unwrap();
+            assert_eq!(from_session.x, one_shot.x, "seed {seed}");
+            assert_eq!(from_session.sim_time_s, one_shot.sim_time_s);
+            assert_eq!(from_session.kernel_stats.len(), one_shot.kernel_stats.len());
+        }
+    }
+
+    #[test]
+    fn session_caches_plans_per_parameter_point() {
+        let shape = WorkloadShape::new(8, 1024);
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+        let batch = random_dominant::<f64>(shape, 9).unwrap();
+        let p1 = params(16, 256, 32);
+        let p2 = params(16, 512, 64);
+        session.solve(&mut gpu, &batch, &p1).unwrap();
+        session.solve(&mut gpu, &batch, &p1).unwrap();
+        assert_eq!(session.cached_plans(), 1);
+        session.measure(&mut gpu, &batch, &p2).unwrap();
+        assert_eq!(session.cached_plans(), 2);
+    }
+
+    #[test]
+    fn session_buffers_free_on_drop() {
+        let shape = WorkloadShape::new(4, 512);
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        {
+            let _session = SolveSession::<f64>::new(&mut gpu, shape).unwrap();
+            // 9 buffers of m*np elements.
+            assert_eq!(gpu.allocated_bytes(), 9 * 4 * 512 * 8);
+        }
+        assert_eq!(gpu.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn session_rejects_mismatched_batch() {
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let mut session = SolveSession::new(&mut gpu, WorkloadShape::new(4, 512)).unwrap();
+        let batch = random_dominant::<f64>(WorkloadShape::new(2, 512), 1).unwrap();
+        let err = session.solve(&mut gpu, &batch, &params(16, 256, 32));
+        assert!(matches!(err, Err(CoreError::BadParams { .. })));
+    }
+
+    #[test]
+    fn gpu_backend_routes_through_sessions() {
+        let shape = WorkloadShape::new(8, 1024);
+        let p = params(16, 256, 32);
+        let batch = random_dominant::<f64>(shape, 4).unwrap();
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let mut backend = GpuBackend::new(&mut gpu);
+        assert_eq!(Backend::<f64>::name(&backend), "gpu");
+        let mut session = backend.prepare(shape, &p).unwrap();
+        let out = backend.solve(&mut session, &batch, &p).unwrap();
+        assert!(batch_worst_relative_residual(&batch, &out.x).unwrap() < 1e-9);
+        let t = backend.measure(&mut session, &batch, &p).unwrap();
+        assert_eq!(t, out.sim_time_s, "deterministic simulation");
+    }
+
+    #[test]
+    fn cpu_backend_solves_on_host() {
+        let shape = WorkloadShape::new(4, 300);
+        let p = params(16, 256, 32);
+        let batch = random_dominant::<f64>(shape, 11).unwrap();
+        let mut backend = CpuBackend::new(CpuSpec::core_i5_dual_3_4ghz());
+        let mut session = Backend::<f64>::prepare(&mut backend, shape, &p).unwrap();
+        let out = backend.solve(&mut session, &batch, &p).unwrap();
+        assert!(batch_worst_relative_residual(&batch, &out.x).unwrap() < 1e-10);
+        assert!(out.kernel_stats.is_empty(), "no kernel launches on the CPU");
+        assert!(out.sim_time_s > 0.0);
+        let t = backend.measure(&mut session, &batch, &p).unwrap();
+        assert_eq!(t, out.sim_time_s);
+    }
+
+    #[test]
+    fn stage_timeline_aggregates_by_stage_in_order() {
+        // 2 systems of 8192 with these params: 3 stage-1 launches, 1
+        // stage-2 launch, 1 base launch.
+        let shape = WorkloadShape::new(2, 8192);
+        let p = params(16, 512, 64);
+        let batch = random_dominant::<f64>(shape, 3).unwrap();
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let out = solve_batch_on_gpu(&mut gpu, &batch, &p).unwrap();
+        let tl = StageTimeline::from_outcome(&out);
+        assert_eq!(tl.launches, 5);
+        let names: Vec<&str> = tl.stages.iter().map(|e| e.stage.as_str()).collect();
+        assert_eq!(names, ["stage1", "stage2", "base"]);
+        assert_eq!(tl.stages[0].launches, 3);
+        assert_eq!(tl.stages[1].launches, 1);
+        assert_eq!(tl.stages[2].launches, 1);
+        // The aggregate must preserve the reported simulated time exactly
+        // (same sum the solver reports).
+        assert!((tl.total_ms - out.sim_time_ms()).abs() < 1e-12);
+        let stage_sum: f64 = tl.stages.iter().map(|e| e.sim_time_ms).sum();
+        assert!((stage_sum - tl.total_ms).abs() < 1e-12);
+        for e in &tl.stages {
+            assert!(e.gmem_payload_mib > 0.0);
+            assert!(e.mean_warps_per_sm > 0.0);
+            assert!((e.exec_time_ms + e.overhead_ms - e.sim_time_ms).abs() < 1e-12);
+        }
+        assert!(tl.render_table().contains("stage1"));
+    }
+}

@@ -24,9 +24,9 @@ use crate::params::{BaseVariant, BASE_KERNEL_REGS_PER_THREAD};
 use crate::Result;
 use std::sync::atomic::{AtomicBool, Ordering};
 use trisolve_gpu_sim::{BufferId, Gpu, KernelStats, LaunchConfig, OutMode};
+use trisolve_tridiag::pcr;
 use trisolve_tridiag::system::ChainView;
 use trisolve_tridiag::thomas::{self, ChainScratch};
-use trisolve_tridiag::pcr;
 
 /// Shared-memory word accesses per equation per on-chip PCR step.
 pub const PCR_SMEM_PER_EQ: usize = 16;
@@ -114,7 +114,14 @@ pub fn base_solve<T: GpuScalar>(
         let mut s = 1usize;
         for _ in 0..pcr_steps {
             pcr::pcr_step(
-                s, &cur.0, &cur.1, &cur.2, &cur.3, &mut next.0, &mut next.1, &mut next.2,
+                s,
+                &cur.0,
+                &cur.1,
+                &cur.2,
+                &cur.3,
+                &mut next.0,
+                &mut next.1,
+                &mut next.2,
                 &mut next.3,
             );
             std::mem::swap(&mut cur, &mut next);
@@ -130,7 +137,13 @@ pub fn base_solve<T: GpuScalar>(
         let mut scratch = ChainScratch::new();
         for sub in ChainView::chains_of(0, chain_len, t4) {
             if thomas::solve_thomas_chain(
-                &sub, &cur.0, &cur.1, &cur.2, &cur.3, &mut lx, &mut scratch,
+                &sub,
+                &cur.0,
+                &cur.1,
+                &cur.2,
+                &cur.3,
+                &mut lx,
+                &mut scratch,
             )
             .is_err()
             {
@@ -285,14 +298,12 @@ mod tests {
             g32.alloc_from(&b32.d).unwrap(),
         ];
         let x = g32.alloc(shape.total_equations()).unwrap();
-        let s32 =
-            base_solve(&mut g32, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
+        let s32 = base_solve(&mut g32, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
 
         let mut g64: Gpu<f64> = Gpu::new(DeviceSpec::gtx_280());
         let src = coeffs(&mut g64, &b64);
         let x = g64.alloc(shape.total_equations()).unwrap();
-        let s64 =
-            base_solve(&mut g64, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
+        let s64 = base_solve(&mut g64, src, x, 4, 256, 256, 1, 64, BaseVariant::Strided).unwrap();
 
         assert_eq!(s32.totals.smem_conflict_accesses, 0.0);
         assert!(s64.totals.smem_conflict_accesses > 0.0);

@@ -245,9 +245,8 @@ mod tests {
         // CR accesses shared memory at power-of-two strides: heavy bank
         // conflicts relative to its raw traffic. (In f64 both algorithms
         // carry the 2-way word serialisation, so compare conflict ratios.)
-        let conflict_ratio = |s: &KernelStats| {
-            s.totals.smem_conflict_accesses / s.totals.smem_accesses.max(1.0)
-        };
+        let conflict_ratio =
+            |s: &KernelStats| s.totals.smem_conflict_accesses / s.totals.smem_accesses.max(1.0);
         assert!(conflict_ratio(&cr_stats) > 2.0 * conflict_ratio(&pcr_stats));
         // CR's raw shared traffic is below PCR's O(n log n)...
         assert!(cr_stats.totals.smem_accesses < pcr_stats.totals.smem_accesses);

@@ -47,9 +47,7 @@ pub fn repack_chains<T: GpuScalar>(
 
     let outputs: Vec<_> = dst
         .iter()
-        .map(|&b| {
-            (b, OutMode::Chunked { chunk: chain_len })
-        })
+        .map(|&b| (b, OutMode::Chunked { chunk: chain_len }))
         .collect();
     let stats = gpu.launch(&cfg, &src, &outputs, |ctx, io| {
         let bid = ctx.block_id as usize;
@@ -229,8 +227,7 @@ mod tests {
         for p in 0..m {
             for r in 0..stride {
                 for j in 0..chain_len {
-                    chain_major[(p * stride + r) * chain_len + j] =
-                        (p * n + r + j * stride) as f32;
+                    chain_major[(p * stride + r) * chain_len + j] = (p * n + r + j * stride) as f32;
                 }
             }
         }

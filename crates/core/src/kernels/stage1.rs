@@ -42,8 +42,12 @@ pub fn stage1_step<T: GpuScalar>(
     let total = m * n;
     let chunk = n.min(1024);
     let grid = total / chunk;
-    let cfg = LaunchConfig::new(format!("stage1[stride={stride}]"), grid, SPLIT_KERNEL_THREADS)
-        .with_regs(SPLIT_KERNEL_REGS_PER_THREAD);
+    let cfg = LaunchConfig::new(
+        format!("stage1[stride={stride}]"),
+        grid,
+        SPLIT_KERNEL_THREADS,
+    )
+    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD);
 
     let outputs: Vec<_> = dst
         .iter()

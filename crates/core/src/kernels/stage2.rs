@@ -14,8 +14,11 @@
 //! which cannot keep an over-shared-memory-sized chain on chip — would
 //! generate.
 
+use crate::kernels::stage1::{
+    PCR_LOADS_PER_EQ, PCR_OPS_PER_EQ, PCR_STAGING_SMEM_PER_EQ, PCR_STORES_PER_EQ,
+    PCR_UNIQUE_LOADS_PER_EQ,
+};
 use crate::kernels::{CoeffBuffers, GpuScalar};
-use crate::kernels::stage1::{PCR_LOADS_PER_EQ, PCR_OPS_PER_EQ, PCR_STAGING_SMEM_PER_EQ, PCR_STORES_PER_EQ, PCR_UNIQUE_LOADS_PER_EQ};
 use crate::params::{SPLIT_KERNEL_REGS_PER_THREAD, SPLIT_KERNEL_THREADS};
 use crate::Result;
 use trisolve_gpu_sim::{Gpu, KernelStats, LaunchConfig, OutMode};

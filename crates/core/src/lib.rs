@@ -25,6 +25,7 @@
 //! layout variant form [`params::SolverParams`] — the tuning space explored
 //! by `trisolve-autotune`.
 
+pub mod engine;
 pub mod error;
 pub mod kernels;
 pub mod params;
@@ -32,6 +33,9 @@ pub mod plan;
 pub mod reference;
 pub mod solver;
 
+pub use engine::{
+    Backend, CpuBackend, CpuSession, GpuBackend, SolveSession, StageTimeline, StageTimelineEntry,
+};
 pub use error::CoreError;
 pub use params::{BaseVariant, SolverParams, BASE_KERNEL_REGS_PER_THREAD};
 pub use plan::{SolvePlan, StageOp};

@@ -329,13 +329,8 @@ mod tests {
 
     #[test]
     fn thomas_switch_clamped_to_chain_length() {
-        let plan = SolvePlan::build(
-            WorkloadShape::new(8, 64),
-            &params(16, 512, 128),
-            &q470(),
-            4,
-        )
-        .unwrap();
+        let plan =
+            SolvePlan::build(WorkloadShape::new(8, 64), &params(16, 512, 128), &q470(), 4).unwrap();
         assert!(matches!(
             plan.ops[0],
             StageOp::BaseSolve {
@@ -350,8 +345,7 @@ mod tests {
     fn unit_stride_normalises_variant() {
         let mut p = params(16, 512, 64);
         p.variant = BaseVariant::Coalesced;
-        let plan =
-            SolvePlan::build(WorkloadShape::new(10, 512), &p, &q470(), 4).unwrap();
+        let plan = SolvePlan::build(WorkloadShape::new(10, 512), &p, &q470(), 4).unwrap();
         assert!(matches!(
             plan.ops[0],
             StageOp::BaseSolve {
@@ -360,8 +354,7 @@ mod tests {
             }
         ));
         // But with real splitting the requested variant is preserved.
-        let plan =
-            SolvePlan::build(WorkloadShape::new(100, 4096), &p, &q470(), 4).unwrap();
+        let plan = SolvePlan::build(WorkloadShape::new(100, 4096), &p, &q470(), 4).unwrap();
         assert!(matches!(
             plan.ops.last().unwrap(),
             StageOp::BaseSolve {
@@ -375,13 +368,8 @@ mod tests {
     fn equation_conservation() {
         // chains * chain_len == m * padded_size for every plan.
         for (m, n) in [(1usize, 1 << 21), (7, 300), (1024, 1024), (3, 8192)] {
-            let plan = SolvePlan::build(
-                WorkloadShape::new(m, n),
-                &params(16, 256, 64),
-                &q470(),
-                4,
-            )
-            .unwrap();
+            let plan = SolvePlan::build(WorkloadShape::new(m, n), &params(16, 256, 64), &q470(), 4)
+                .unwrap();
             if let Some(StageOp::BaseSolve {
                 chains, chain_len, ..
             }) = plan.ops.last()
@@ -395,13 +383,9 @@ mod tests {
 
     #[test]
     fn empty_workload_rejected() {
-        assert!(SolvePlan::build(
-            WorkloadShape::new(0, 128),
-            &params(16, 256, 32),
-            &q470(),
-            4
-        )
-        .is_err());
+        assert!(
+            SolvePlan::build(WorkloadShape::new(0, 128), &params(16, 256, 32), &q470(), 4).is_err()
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! CPU cross-checks for the GPU solver: verify outcomes against the
-//! pivoting LU reference and replay a plan's algebra on the host.
+//! pivoting LU reference (routed through the [`CpuBackend`] engine) and
+//! replay a plan's algebra on the host.
 
+use crate::engine::{Backend, CpuBackend};
+use crate::kernels::GpuScalar;
 use crate::plan::{SolvePlan, StageOp};
 use crate::solver::SolveOutcome;
 use crate::Result;
-use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
+use trisolve_gpu_sim::CpuSpec;
 use trisolve_tridiag::norms;
 use trisolve_tridiag::{Scalar, SystemBatch};
 
@@ -14,13 +17,18 @@ pub fn verify_outcome<T: Scalar>(batch: &SystemBatch<T>, outcome: &SolveOutcome<
 }
 
 /// Worst component-wise deviation between a GPU outcome and the LU
-/// reference solution.
-pub fn compare_with_lu<T: Scalar>(
+/// reference solution, obtained through the [`CpuBackend`] engine (the same
+/// path `autotune` dispatches host solves to).
+pub fn compare_with_lu<T: GpuScalar>(
     batch: &SystemBatch<T>,
     outcome: &SolveOutcome<T>,
 ) -> Result<f64> {
-    let reference = solve_batch_sequential(batch, BatchAlgorithm::Lu)?;
-    Ok(norms::max_abs_diff(&outcome.x, &reference))
+    let mut backend = CpuBackend::new(CpuSpec::core_i5_dual_3_4ghz());
+    // Seed the session with the outcome's own plan: no re-validation
+    // against a reference device the solve never ran on.
+    let mut session = backend.prepare_with_plan(outcome.plan.clone());
+    let reference = backend.solve(&mut session, batch, &outcome.plan.params)?;
+    Ok(norms::max_abs_diff(&outcome.x, &reference.x))
 }
 
 /// Replay a plan's stage algebra entirely on the CPU: the same PCR split
@@ -38,11 +46,7 @@ pub fn replay_plan_on_cpu<T: Scalar>(batch: &SystemBatch<T>, plan: &SolvePlan) -
     let np = plan.padded_size;
 
     let total_steps = plan.stage1_steps + plan.stage2_steps;
-    let (chain_len, t4) = match plan
-        .ops
-        .last()
-        .expect("plans always end with a base solve")
-    {
+    let (chain_len, t4) = match plan.ops.last().expect("plans always end with a base solve") {
         StageOp::BaseSolve {
             chain_len,
             thomas_chains,
@@ -84,7 +88,13 @@ pub fn replay_plan_on_cpu<T: Scalar>(batch: &SystemBatch<T>, plan: &SolvePlan) -
             let mut lx = vec![T::ZERO; chain_len];
             for sub in ChainView::chains_of(0, chain_len, t4.min(chain_len)) {
                 solve_thomas_chain(
-                    &sub, &lsplit.a, &lsplit.b, &lsplit.c, &lsplit.d, &mut lx, &mut scratch,
+                    &sub,
+                    &lsplit.a,
+                    &lsplit.b,
+                    &lsplit.c,
+                    &lsplit.d,
+                    &mut lx,
+                    &mut scratch,
                 )?;
             }
             chain.scatter(&lx, &mut x);

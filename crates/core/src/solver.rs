@@ -1,9 +1,13 @@
-//! The end-to-end solver driver: pad, upload, execute the plan's stage
-//! sequence with double-buffered coefficient arrays, download and unpad.
+//! The one-shot solver entry points, built on [`crate::engine`]'s reusable
+//! [`SolveSession`](crate::engine::SolveSession): pad, upload, execute the
+//! plan's stage sequence with double-buffered coefficient arrays, download
+//! and unpad. Callers that solve the same shape repeatedly should hold a
+//! session (or a [`crate::engine::Backend`]) instead.
 
-use crate::kernels::{base_solve, elem_bytes, stage1_step, stage2_split, CoeffBuffers, GpuScalar};
+use crate::engine::SolveSession;
+use crate::kernels::GpuScalar;
 use crate::params::SolverParams;
-use crate::plan::{SolvePlan, StageOp};
+use crate::plan::SolvePlan;
 use crate::Result;
 use trisolve_gpu_sim::{Gpu, KernelStats};
 use trisolve_tridiag::workloads::WorkloadShape;
@@ -42,119 +46,10 @@ pub fn solve_batch_on_gpu<T: GpuScalar>(
     params: &SolverParams,
 ) -> Result<SolveOutcome<T>> {
     let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
-    let plan = SolvePlan::build(shape, params, &gpu.spec().queryable().clone(), elem_bytes::<T>())?;
-
-    let m = batch.num_systems;
-    let n = batch.system_size;
-    let np = plan.padded_size;
-    let total = m * np;
-
-    // Pad each system to the power-of-two size with decoupled identity rows
-    // (b = 1, everything else 0): they solve to zero and PCR leaves them
-    // decoupled, so the original solutions are unaffected.
-    let padded = |src: &[T], fill_b: bool| -> Vec<T> {
-        if np == n {
-            return src.to_vec();
-        }
-        let mut out = vec![T::ZERO; total];
-        for s in 0..m {
-            out[s * np..s * np + n].copy_from_slice(&src[s * n..(s + 1) * n]);
-            if fill_b {
-                for v in &mut out[s * np + n..(s + 1) * np] {
-                    *v = T::ONE;
-                }
-            }
-        }
-        out
-    };
-
-    let a_h = padded(&batch.a, false);
-    let b_h = padded(&batch.b, true);
-    let c_h = padded(&batch.c, false);
-    let d_h = padded(&batch.d, false);
-
-    let src: CoeffBuffers = [
-        gpu.alloc_from(&a_h)?,
-        gpu.alloc_from(&b_h)?,
-        gpu.alloc_from(&c_h)?,
-        gpu.alloc_from(&d_h)?,
-    ];
-    let dst: CoeffBuffers = [
-        gpu.alloc(total)?,
-        gpu.alloc(total)?,
-        gpu.alloc(total)?,
-        gpu.alloc(total)?,
-    ];
-    let x = gpu.alloc(total)?;
-
-    let t0 = gpu.elapsed_s();
-    let launches_before = gpu.timeline().len();
-    let mut cur = src;
-    let mut alt = dst;
-
-    let mut exec = |gpu: &mut Gpu<T>| -> Result<()> {
-        for op in &plan.ops {
-            match *op {
-                StageOp::Stage1Split { stride, .. } => {
-                    stage1_step(gpu, cur, alt, m, np, stride)?;
-                    std::mem::swap(&mut cur, &mut alt);
-                }
-                StageOp::Stage2Split {
-                    stride_in, steps, ..
-                } => {
-                    stage2_split(gpu, cur, alt, m, np, stride_in, steps)?;
-                    std::mem::swap(&mut cur, &mut alt);
-                }
-                StageOp::BaseSolve {
-                    chain_len,
-                    stride,
-                    thomas_chains,
-                    variant,
-                    ..
-                } => {
-                    base_solve(
-                        gpu,
-                        cur,
-                        x,
-                        m,
-                        np,
-                        chain_len,
-                        stride,
-                        thomas_chains,
-                        variant,
-                    )?;
-                }
-            }
-        }
-        Ok(())
-    };
-    let exec_result = exec(gpu);
-
-    // Collect results/cleanup regardless of kernel failure.
-    let sim_time_s = gpu.elapsed_s() - t0;
-    let kernel_stats = gpu.timeline()[launches_before..].to_vec();
-    let x_padded = if exec_result.is_ok() {
-        gpu.download(x)?
-    } else {
-        Vec::new()
-    };
-    for id in src.into_iter().chain(dst).chain([x]) {
-        gpu.free(id)?;
-    }
-    exec_result?;
-
-    // Unpad.
-    let mut x_out = Vec::with_capacity(m * n);
-    for s in 0..m {
-        x_out.extend_from_slice(&x_padded[s * np..s * np + n]);
-    }
-
-    Ok(SolveOutcome {
-        x: x_out,
-        sim_time_s,
-        kernel_stats,
-        plan,
-    })
+    let mut session = SolveSession::new(gpu, shape)?;
+    session.solve(gpu, batch, params)
+    // The session drops here: its RAII buffer guards release every device
+    // allocation — on the error path too, with no cleanup bookkeeping.
 }
 
 /// Solve and report only the simulated time — the measurement primitive the

@@ -303,7 +303,9 @@ pub fn tune_fft(gpu: &mut Gpu<f64>, len: usize) -> (FftParams, usize) {
     let min_n1 = len.div_ceil(cap).next_power_of_two().max(2);
     let max_n1 = cap.min(len);
     let axis = Pow2Axis::new("fft_n1", min_n1, max_n1);
-    let re: Vec<f64> = (0..len).map(|i| ((i * 37 % 256) as f64) / 128.0 - 1.0).collect();
+    let re: Vec<f64> = (0..len)
+        .map(|i| ((i * 37 % 256) as f64) / 128.0 - 1.0)
+        .collect();
     let im = vec![0.0f64; len];
     let mut evals = 0usize;
     let (n1, _, _) = hill_climb_pow2(axis, seed.n1, |n1| {

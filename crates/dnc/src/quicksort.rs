@@ -234,7 +234,10 @@ fn partition_cooperative(
             let (lo, hi) = slice_bounds(seg.len, bps, part);
             let pivot = pivots[gbid / bps];
             let mut c = 0usize;
-            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi].iter().enumerate() {
+            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi]
+                .iter()
+                .enumerate()
+            {
                 if v < pivot || (v == pivot && (lo + i) % 2 == 0) {
                     c += 1;
                 }
@@ -267,8 +270,12 @@ fn partition_cooperative(
     }
 
     // --- Launch 2: scatter. ------------------------------------------------
-    let cfg = LaunchConfig::new(format!("qs_scatter[{}x{bps}]", segs.len()), grid, QS_THREADS)
-        .with_regs(QS_REGS);
+    let cfg = LaunchConfig::new(
+        format!("qs_scatter[{}x{bps}]", segs.len()),
+        grid,
+        QS_THREADS,
+    )
+    .with_regs(QS_REGS);
     {
         let segs = &segs;
         let pivots = &pivots;
@@ -280,7 +287,10 @@ fn partition_cooperative(
             let pivot = pivots[gbid / bps];
             let mut at_lo = lo_base[gbid];
             let mut at_hi = hi_base[gbid];
-            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi].iter().enumerate() {
+            for (i, &v) in io.inputs[0][seg.start + lo..seg.start + hi]
+                .iter()
+                .enumerate()
+            {
                 if v < pivot || (v == pivot && (lo + i) % 2 == 0) {
                     io.scattered[0].set(at_lo, v);
                     at_lo += 1;
@@ -328,25 +338,24 @@ fn onchip_sort_pass(
         &[bufs[0], bufs[1]],
         &[(dst, OutMode::Scattered)],
         |ctx, io| {
-        let (seg, parity) = segs[ctx.block_id as usize];
-        let mut local: Vec<u32> =
-            io.inputs[parity][seg.start..seg.start + seg.len].to_vec();
-        local.sort_unstable();
-        for (i, &v) in local.iter().enumerate() {
-            io.scattered[0].set(seg.start + i, v);
-        }
-        // Bitonic-network metering (padded to the next power of two).
-        let padded = seg.len.next_power_of_two().max(2);
-        let log = padded.trailing_zeros() as usize;
-        let passes = log * (log + 1) / 2;
-        ctx.gmem_read(seg.len, 1);
-        ctx.gmem_write(seg.len, 1);
-        ctx.smem(2 * padded * passes);
-        ctx.ops(padded * passes);
-        for _ in 0..passes {
-            ctx.sync();
-        }
-    },
+            let (seg, parity) = segs[ctx.block_id as usize];
+            let mut local: Vec<u32> = io.inputs[parity][seg.start..seg.start + seg.len].to_vec();
+            local.sort_unstable();
+            for (i, &v) in local.iter().enumerate() {
+                io.scattered[0].set(seg.start + i, v);
+            }
+            // Bitonic-network metering (padded to the next power of two).
+            let padded = seg.len.next_power_of_two().max(2);
+            let log = padded.trailing_zeros() as usize;
+            let passes = log * (log + 1) / 2;
+            ctx.gmem_read(seg.len, 1);
+            ctx.gmem_write(seg.len, 1);
+            ctx.smem(2 * padded * passes);
+            ctx.ops(padded * passes);
+            for _ in 0..passes {
+                ctx.sync();
+            }
+        },
     )?;
     Ok(())
 }
@@ -378,18 +387,24 @@ pub fn tune_quicksort(gpu: &mut Gpu<u32>, len: usize) -> (QuickParams, usize) {
     let coop_seed = gpu.spec().queryable().num_processors.next_power_of_two();
     let (onchip, _, _) = hill_climb_pow2(onchip_axis, max_onchip, |v| {
         evals += 1;
-        measure(gpu, QuickParams {
-            onchip_threshold: v,
-            coop_threshold: coop_seed,
-        })
+        measure(
+            gpu,
+            QuickParams {
+                onchip_threshold: v,
+                coop_threshold: coop_seed,
+            },
+        )
     });
     let coop_axis = Pow2Axis::new("qs_coop", 1, 256);
     let (coop, _, _) = hill_climb_pow2(coop_axis, coop_seed, |v| {
         evals += 1;
-        measure(gpu, QuickParams {
-            onchip_threshold: onchip,
-            coop_threshold: v,
-        })
+        measure(
+            gpu,
+            QuickParams {
+                onchip_threshold: onchip,
+                coop_threshold: v,
+            },
+        )
     });
     (
         QuickParams {

@@ -143,12 +143,8 @@ fn merge_pass_independent(
     run: usize,
 ) -> Result<KernelStats, SimError> {
     let pairs = n / (2 * run);
-    let cfg = LaunchConfig::new(
-        format!("merge_ind[run={run}]"),
-        pairs,
-        SORT_THREADS,
-    )
-    .with_regs(SORT_REGS);
+    let cfg = LaunchConfig::new(format!("merge_ind[run={run}]"), pairs, SORT_THREADS)
+        .with_regs(SORT_REGS);
     gpu.launch(
         &cfg,
         &[src],

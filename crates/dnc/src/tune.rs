@@ -37,7 +37,10 @@ pub fn static_sort_params(q: &QueryableProps) -> SortParams {
 /// independently from the machine-query seed, measuring simulated sorts of
 /// `len` random `u32`s.
 pub fn tune_sort(gpu: &mut Gpu<u32>, len: usize) -> SortTuneResult {
-    assert!(len.is_power_of_two(), "tuning length must be a power of two");
+    assert!(
+        len.is_power_of_two(),
+        "tuning length must be a power of two"
+    );
     let q = gpu.spec().queryable().clone();
     let seed = static_sort_params(&q);
     let mut rng = ChaCha8Rng::seed_from_u64(42);
@@ -54,19 +57,27 @@ pub fn tune_sort(gpu: &mut Gpu<u32>, len: usize) -> SortTuneResult {
     let tile_axis = Pow2Axis::new("tile_size", 64, max_tile);
     let (tile, _, _) = hill_climb_pow2(tile_axis, seed.tile_size, |tile| {
         evals += 1;
-        measure(gpu, &data, SortParams {
-            tile_size: tile,
-            coop_threshold: seed.coop_threshold,
-        })
+        measure(
+            gpu,
+            &data,
+            SortParams {
+                tile_size: tile,
+                coop_threshold: seed.coop_threshold,
+            },
+        )
     });
 
     let coop_axis = Pow2Axis::new("coop_threshold", 1, 256);
     let (coop, _, _) = hill_climb_pow2(coop_axis, seed.coop_threshold, |coop| {
         evals += 1;
-        measure(gpu, &data, SortParams {
-            tile_size: tile,
-            coop_threshold: coop,
-        })
+        measure(
+            gpu,
+            &data,
+            SortParams {
+                tile_size: tile,
+                coop_threshold: coop,
+            },
+        )
     });
 
     SortTuneResult {

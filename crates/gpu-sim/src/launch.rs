@@ -508,10 +508,7 @@ mod tests {
         coalesced.gmem_read_staged(320, 320, 1);
         // Fully scattered: one 32-byte transaction per element (f32), i.e.
         // 32 slots per warp vs 1 when coalesced.
-        assert!(
-            strided.counters().gmem_warp_txns
-                >= 30.0 * coalesced.counters().gmem_warp_txns
-        );
+        assert!(strided.counters().gmem_warp_txns >= 30.0 * coalesced.counters().gmem_warp_txns);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use cpu::CpuSpec;
 pub use device::{DeviceSpec, HiddenProps, QueryableProps};
 pub use error::SimError;
 pub use launch::{BlockCtx, BlockIo, BlockOut, LaunchConfig, OutMode, ScatterWriter};
-pub use memory::{BufferId, Gpu, ProfileEntry};
+pub use memory::{BufferId, DeviceBuffer, Gpu, ProfileEntry};
 
 /// Element types storable in simulated device memory.
 pub trait Element: Copy + Send + Sync + Default + std::fmt::Debug + 'static {

@@ -7,7 +7,9 @@ use crate::error::SimError;
 use crate::launch::{BlockCtx, BlockIo, LaunchConfig, OutMode, ScatterWriter, SharedOut};
 use crate::timing;
 use crate::Element;
+use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Handle to a buffer in simulated global memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +19,52 @@ impl BufferId {
     /// Raw slot index (diagnostics only).
     pub fn raw(&self) -> usize {
         self.0
+    }
+}
+
+/// Deferred-free list shared between a [`Gpu`] and its [`DeviceBuffer`]
+/// guards. Guards cannot hold a mutable borrow of the device (the caller
+/// needs it to launch kernels), so dropping a guard *enqueues* the free; the
+/// device reclaims queued ids at its next mutating operation, and
+/// [`Gpu::allocated_bytes`] already discounts queued-but-unreclaimed
+/// buffers so accounting is exact at every instant.
+type FreeQueue = Arc<Mutex<Vec<BufferId>>>;
+
+/// RAII guard for a device allocation: dropping it frees the buffer.
+///
+/// Obtained from [`Gpu::alloc_guarded`] / [`Gpu::alloc_from_guarded`]. The
+/// guard owns the allocation; the underlying [`BufferId`] (via
+/// [`DeviceBuffer::id`]) is what kernel launches consume. Because the free
+/// happens in `Drop`, buffers are released on *every* exit path — early
+/// returns on kernel errors included — with no manual `gpu.free()` loops.
+///
+/// ```
+/// use trisolve_gpu_sim::{DeviceSpec, Gpu};
+///
+/// let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+/// {
+///     let buf = gpu.alloc_from_guarded(&[1.0, 2.0])?;
+///     assert_eq!(gpu.view(buf.id())?, &[1.0, 2.0]);
+/// } // guard dropped here
+/// assert_eq!(gpu.allocated_bytes(), 0);
+/// # Ok::<(), trisolve_gpu_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    id: BufferId,
+    queue: FreeQueue,
+}
+
+impl DeviceBuffer {
+    /// The buffer handle, for uploads, launches and downloads.
+    pub fn id(&self) -> BufferId {
+        self.id
+    }
+}
+
+impl Drop for DeviceBuffer {
+    fn drop(&mut self) {
+        self.queue.lock().push(self.id);
     }
 }
 
@@ -70,6 +118,7 @@ pub struct Gpu<E: Element> {
     pub race_check: bool,
     timeline: Vec<KernelStats>,
     elapsed_s: f64,
+    free_queue: FreeQueue,
 }
 
 impl<E: Element> Gpu<E> {
@@ -82,6 +131,7 @@ impl<E: Element> Gpu<E> {
             race_check: true,
             timeline: Vec::new(),
             elapsed_s: 0.0,
+            free_queue: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -91,12 +141,35 @@ impl<E: Element> Gpu<E> {
     }
 
     /// Bytes currently allocated in global memory.
+    ///
+    /// Buffers whose [`DeviceBuffer`] guard has dropped but that have not
+    /// yet been reclaimed do not count: logically they are already free.
     pub fn allocated_bytes(&self) -> usize {
-        self.allocated_bytes
+        let pending: usize = self
+            .free_queue
+            .lock()
+            .iter()
+            .filter_map(|id| self.buffers.get(id.0).and_then(|b| b.as_ref()))
+            .map(|b| b.len() * E::BYTES)
+            .sum();
+        self.allocated_bytes - pending
+    }
+
+    /// Release every buffer whose guard has dropped since the last mutating
+    /// operation. Called automatically by [`Gpu::alloc`], [`Gpu::upload`],
+    /// [`Gpu::launch`] and [`Gpu::free`]; callers never need to.
+    fn reclaim(&mut self) {
+        let pending = std::mem::take(&mut *self.free_queue.lock());
+        for id in pending {
+            // A guard can only be built from a live allocation, but tolerate
+            // a manual `free` racing the guard's drop.
+            let _ = self.free_now(id);
+        }
     }
 
     /// Allocate a zero-initialised buffer of `len` elements.
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, SimError> {
+        self.reclaim();
         let bytes = len * E::BYTES;
         let cap = self.spec.queryable().global_mem_bytes;
         if self.allocated_bytes + bytes > cap {
@@ -121,8 +194,27 @@ impl<E: Element> Gpu<E> {
         Ok(id)
     }
 
+    /// Allocate a zero-initialised buffer owned by an RAII guard.
+    pub fn alloc_guarded(&mut self, len: usize) -> Result<DeviceBuffer, SimError> {
+        let id = self.alloc(len)?;
+        Ok(DeviceBuffer {
+            id,
+            queue: Arc::clone(&self.free_queue),
+        })
+    }
+
+    /// Allocate a guard-owned buffer initialised from host data.
+    pub fn alloc_from_guarded(&mut self, data: &[E]) -> Result<DeviceBuffer, SimError> {
+        let id = self.alloc_from(data)?;
+        Ok(DeviceBuffer {
+            id,
+            queue: Arc::clone(&self.free_queue),
+        })
+    }
+
     /// Overwrite a buffer's contents from host data (lengths must match).
     pub fn upload(&mut self, id: BufferId, data: &[E]) -> Result<(), SimError> {
+        self.reclaim();
         let buf = self.buffer_mut(id)?;
         if buf.len() != data.len() {
             return Err(SimError::InvalidBuffer { id: id.0 });
@@ -153,6 +245,11 @@ impl<E: Element> Gpu<E> {
 
     /// Free a buffer.
     pub fn free(&mut self, id: BufferId) -> Result<(), SimError> {
+        self.reclaim();
+        self.free_now(id)
+    }
+
+    fn free_now(&mut self, id: BufferId) -> Result<(), SimError> {
         let slot = self
             .buffers
             .get_mut(id.0)
@@ -237,6 +334,8 @@ impl<E: Element> Gpu<E> {
     where
         F: Fn(&mut BlockCtx, &mut BlockIo<'_, E>) + Sync,
     {
+        self.reclaim();
+
         // Validate the launch shape before touching any buffer.
         timing::residency(&self.spec, cfg)?;
 
@@ -430,7 +529,9 @@ mod tests {
     #[test]
     fn chunked_launch_copies_data() {
         let mut g = gpu();
-        let src = g.alloc_from(&(0..1024).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+        let src = g
+            .alloc_from(&(0..1024).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
         let dst = g.alloc(1024).unwrap();
         let cfg = LaunchConfig::new("copy", 8, 128);
         let stats = g
@@ -499,12 +600,7 @@ mod tests {
         let mut g = gpu();
         let buf = g.alloc(64).unwrap();
         let cfg = LaunchConfig::new("alias", 1, 32);
-        let err = g.launch(
-            &cfg,
-            &[buf],
-            &[(buf, OutMode::Scattered)],
-            |_, _| {},
-        );
+        let err = g.launch(&cfg, &[buf], &[(buf, OutMode::Scattered)], |_, _| {});
         assert!(matches!(err, Err(SimError::InvalidLaunch { .. })));
     }
 
@@ -573,9 +669,14 @@ mod tests {
         let dst = g.alloc(1024).unwrap();
         let cfg = LaunchConfig::new("k", 4, 64);
         for _ in 0..3 {
-            g.launch(&cfg, &[], &[(dst, OutMode::Chunked { chunk: 256 })], |ctx, _| {
-                ctx.ops(1000);
-            })
+            g.launch(
+                &cfg,
+                &[],
+                &[(dst, OutMode::Chunked { chunk: 256 })],
+                |ctx, _| {
+                    ctx.ops(1000);
+                },
+            )
             .unwrap();
         }
         assert_eq!(g.timeline().len(), 3);
@@ -594,16 +695,26 @@ mod tests {
         let dst = g.alloc(1024).unwrap();
         for stride in [1usize, 2] {
             let cfg = LaunchConfig::new(format!("ka[s={stride}]"), 4, 64);
-            g.launch(&cfg, &[], &[(dst, OutMode::Chunked { chunk: 256 })], |ctx, _| {
-                ctx.ops(100);
-                ctx.gmem_write(256, 1);
-            })
+            g.launch(
+                &cfg,
+                &[],
+                &[(dst, OutMode::Chunked { chunk: 256 })],
+                |ctx, _| {
+                    ctx.ops(100);
+                    ctx.gmem_write(256, 1);
+                },
+            )
             .unwrap();
         }
         let cfg = LaunchConfig::new("kb[x]", 4, 64);
-        g.launch(&cfg, &[], &[(dst, OutMode::Chunked { chunk: 256 })], |ctx, _| {
-            ctx.ops(100);
-        })
+        g.launch(
+            &cfg,
+            &[],
+            &[(dst, OutMode::Chunked { chunk: 256 })],
+            |ctx, _| {
+                ctx.ops(100);
+            },
+        )
         .unwrap();
         let summary = g.profile_summary();
         assert_eq!(summary.len(), 2);
@@ -614,6 +725,62 @@ mod tests {
         assert!((total - g.elapsed_s()).abs() < 1e-15);
         // Sorted by time descending.
         assert!(summary[0].total_time_s >= summary[1].total_time_s);
+    }
+
+    #[test]
+    fn guard_drop_frees_buffer() {
+        let mut g = gpu();
+        let kept = g.alloc(2).unwrap();
+        {
+            let b = g.alloc_from_guarded(&[1.0, 2.0, 3.0]).unwrap();
+            assert_eq!(g.view(b.id()).unwrap(), &[1.0, 2.0, 3.0]);
+            assert_eq!(g.allocated_bytes(), 5 * 4);
+        }
+        // Guard dropped: the bytes no longer count, even before reclaim.
+        assert_eq!(g.allocated_bytes(), 2 * 4);
+        // The next mutating op reclaims the slot for real.
+        g.free(kept).unwrap();
+        assert_eq!(g.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn guard_drop_returns_capacity_for_new_allocs() {
+        let mut g = gpu();
+        let cap = g.spec().queryable().global_mem_bytes / 4;
+        {
+            let _all = g.alloc_guarded(cap).unwrap();
+            assert!(g.alloc(1).is_err());
+        }
+        // The deferred free must be honoured before the capacity check.
+        assert!(g.alloc(cap).is_ok());
+    }
+
+    #[test]
+    fn guard_survives_early_return_paths() {
+        fn failing(g: &mut Gpu<f32>) -> Result<(), SimError> {
+            let a = g.alloc_guarded(64)?;
+            let _b = g.alloc_guarded(64)?;
+            let cfg = LaunchConfig::new("race", 2, 32);
+            // Both blocks write index 0: the launch fails mid-pipeline and
+            // the function unwinds through `?` with guards still live.
+            g.launch(&cfg, &[], &[(a.id(), OutMode::Scattered)], |_, io| {
+                io.scattered[0].set(0, 1.0);
+            })?;
+            Ok(())
+        }
+        let mut g = gpu();
+        assert!(failing(&mut g).is_err());
+        assert_eq!(g.allocated_bytes(), 0, "error path must not leak");
+    }
+
+    #[test]
+    fn manual_free_of_guarded_buffer_is_tolerated() {
+        let mut g = gpu();
+        let b = g.alloc_guarded(8).unwrap();
+        g.free(b.id()).unwrap();
+        drop(b); // enqueues a second free of the same id
+        assert!(g.alloc(1).is_ok()); // reclaim ignores the stale entry
+        assert_eq!(g.allocated_bytes(), 4);
     }
 
     #[test]

@@ -131,8 +131,9 @@ pub fn kernel_time(
 
     // --- Bandwidth floor: transaction bytes over the achievable bandwidth,
     // derated when the machine is not filled (few blocks / low occupancy).
-    let machine_warps =
-        (active_sms * res.warps_per_sm).min(cfg.grid_blocks * res.warps_per_sm / res.blocks_per_sm.max(1)) as f64;
+    let machine_warps = (active_sms * res.warps_per_sm)
+        .min(cfg.grid_blocks * res.warps_per_sm / res.blocks_per_sm.max(1))
+        as f64;
     let warps_wanted = h.hide_warps * num_sms as f64;
     let utilization = (machine_warps / warps_wanted).min(1.0);
     let bw = h.mem_bandwidth_gbps * 1e9 * h.achievable_bw_fraction * utilization.max(1e-6);
@@ -318,13 +319,9 @@ mod tests {
             smem_accesses: 50_000.0,
             ..Default::default()
         };
-        let t_one_block = kernel_time(
-            &d,
-            &cfg(14, 1024).with_regs(24),
-            &vec![work; 14],
-        )
-        .unwrap()
-        .exec_time_s;
+        let t_one_block = kernel_time(&d, &cfg(14, 1024).with_regs(24), &vec![work; 14])
+            .unwrap()
+            .exec_time_s;
         let t_many = kernel_time(
             &d,
             &cfg(14 * 8, 128).with_regs(24),

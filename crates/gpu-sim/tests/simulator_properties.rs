@@ -2,9 +2,7 @@
 //! monotonicity, launch-validation totality and buffer accounting.
 
 use proptest::prelude::*;
-use trisolve_gpu_sim::{
-    timing, CostCounters, DeviceSpec, Gpu, LaunchConfig, OutMode, SimError,
-};
+use trisolve_gpu_sim::{timing, CostCounters, DeviceSpec, Gpu, LaunchConfig, OutMode, SimError};
 
 fn devices() -> Vec<DeviceSpec> {
     DeviceSpec::paper_devices()

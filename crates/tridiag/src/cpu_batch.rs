@@ -75,9 +75,7 @@ pub fn solve_batch_parallel<T: Scalar>(
     let results: Vec<Result<()>> = x
         .par_chunks_mut(n)
         .enumerate()
-        .map(|(s, out)| {
-            solve_one_into(batch, s, algo, out)
-        })
+        .map(|(s, out)| solve_one_into(batch, s, algo, out))
         .collect();
     for r in results {
         r?;

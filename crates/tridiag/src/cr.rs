@@ -17,12 +17,7 @@ type Level<T> = (Vec<T>, Vec<T>, Vec<T>, Vec<T>);
 
 /// One level of CR forward reduction. Given the current system, produce the
 /// half-size system over the odd-indexed equations.
-pub(crate) fn cr_reduce_level<T: Scalar>(
-    a: &[T],
-    b: &[T],
-    c: &[T],
-    d: &[T],
-) -> Result<Level<T>> {
+pub(crate) fn cr_reduce_level<T: Scalar>(a: &[T], b: &[T], c: &[T], d: &[T]) -> Result<Level<T>> {
     let n = b.len();
     let m = n / 2;
     let mut ra = vec![T::ZERO; m];
@@ -115,12 +110,8 @@ where
     }
 
     // Record every level's coefficients for the back-substitution pass.
-    let mut levels: Vec<Level<T>> = vec![(
-        sys.a.clone(),
-        sys.b.clone(),
-        sys.c.clone(),
-        sys.d.clone(),
-    )];
+    let mut levels: Vec<Level<T>> =
+        vec![(sys.a.clone(), sys.b.clone(), sys.c.clone(), sys.d.clone())];
     while levels.last().unwrap().1.len() > threshold {
         let (a, b, c, d) = levels.last().unwrap();
         let reduced = cr_reduce_level(a, b, c, d)?;

@@ -264,14 +264,17 @@ mod tests {
         let i = DenseMatrix::<f64>::identity(3);
         assert_eq!(a.matmul(&i), a);
         let x = vec![1.0, -1.0, 2.0];
-        let via_mat = a.matmul(&DenseMatrix::from_rows(3, &{
-            // column vector embedded in a matrix for the test
-            let mut m = vec![0.0; 9];
-            for (k, &v) in x.iter().enumerate() {
-                m[k * 3] = v;
-            }
-            m
-        }).unwrap());
+        let via_mat = a.matmul(
+            &DenseMatrix::from_rows(3, &{
+                // column vector embedded in a matrix for the test
+                let mut m = vec![0.0; 9];
+                for (k, &v) in x.iter().enumerate() {
+                    m[k * 3] = v;
+                }
+                m
+            })
+            .unwrap(),
+        );
         let direct = a.matvec(&x);
         for k in 0..3 {
             assert!((via_mat[(k, 0)] - direct[k]).abs() < 1e-12);

@@ -42,10 +42,7 @@ pub fn solve_pcr_thomas<T: Scalar>(
 /// Solve with Zhang et al.'s hybrid: CR forward reduction until the system
 /// has at most `pcr_threshold` equations, pure PCR on the reduced system,
 /// then CR back substitution.
-pub fn solve_cr_pcr<T: Scalar>(
-    sys: &TridiagonalSystem<T>,
-    pcr_threshold: usize,
-) -> Result<Vec<T>> {
+pub fn solve_cr_pcr<T: Scalar>(sys: &TridiagonalSystem<T>, pcr_threshold: usize) -> Result<Vec<T>> {
     cr::solve_cr_until(sys, pcr_threshold, |a, b, c, d, x| {
         let sub = TridiagonalSystem::new(a.to_vec(), b.to_vec(), c.to_vec(), d.to_vec())?;
         let sol = pcr::solve_pcr(&sub)?;

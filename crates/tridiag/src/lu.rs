@@ -211,16 +211,12 @@ mod tests {
         )
         .unwrap();
         // rows: [1 1; 1 1] is singular.
-        assert!(matches!(
-            solve_lu(&sys),
-            Err(SolverError::ZeroPivot { .. })
-        ));
+        assert!(matches!(solve_lu(&sys), Err(SolverError::ZeroPivot { .. })));
     }
 
     #[test]
     fn single_equation() {
-        let sys =
-            TridiagonalSystem::new(vec![0.0], vec![-2.0], vec![0.0], vec![6.0]).unwrap();
+        let sys = TridiagonalSystem::new(vec![0.0], vec![-2.0], vec![0.0], vec![6.0]).unwrap();
         assert_eq!(solve_lu(&sys).unwrap(), vec![-3.0]);
     }
 

@@ -50,10 +50,7 @@ pub fn relative_l2_error<T: Scalar>(x: &[T], y: &[T]) -> f64 {
 
 /// Worst relative residual across every system of a batch given the batch's
 /// flat solution vector.
-pub fn batch_worst_relative_residual<T: Scalar>(
-    batch: &SystemBatch<T>,
-    x: &[T],
-) -> Result<f64> {
+pub fn batch_worst_relative_residual<T: Scalar>(batch: &SystemBatch<T>, x: &[T]) -> Result<f64> {
     let n = batch.system_size;
     let mut worst = 0.0f64;
     for s in 0..batch.num_systems {

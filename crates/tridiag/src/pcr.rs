@@ -111,12 +111,7 @@ pub fn pcr_split<T: Scalar>(sys: &TridiagonalSystem<T>, steps: u32) -> Result<Pc
     if n == 0 {
         return Err(SolverError::EmptySystem);
     }
-    let mut cur = (
-        sys.a.clone(),
-        sys.b.clone(),
-        sys.c.clone(),
-        sys.d.clone(),
-    );
+    let mut cur = (sys.a.clone(), sys.b.clone(), sys.c.clone(), sys.d.clone());
     let mut next = (
         vec![T::ZERO; n],
         vec![T::ZERO; n],
@@ -126,7 +121,14 @@ pub fn pcr_split<T: Scalar>(sys: &TridiagonalSystem<T>, steps: u32) -> Result<Pc
     let mut stride = 1usize;
     for _ in 0..steps {
         pcr_step(
-            stride, &cur.0, &cur.1, &cur.2, &cur.3, &mut next.0, &mut next.1, &mut next.2,
+            stride,
+            &cur.0,
+            &cur.1,
+            &cur.2,
+            &cur.3,
+            &mut next.0,
+            &mut next.1,
+            &mut next.2,
             &mut next.3,
         );
         std::mem::swap(&mut cur, &mut next);
@@ -163,10 +165,7 @@ pub fn solve_pcr<T: Scalar>(sys: &TridiagonalSystem<T>) -> Result<Vec<T>> {
 
 /// Solve by `steps` PCR splits followed by a Thomas solve of every chain —
 /// the algorithmic core of the paper's base kernel, on the CPU.
-pub fn solve_pcr_then_thomas<T: Scalar>(
-    sys: &TridiagonalSystem<T>,
-    steps: u32,
-) -> Result<Vec<T>> {
+pub fn solve_pcr_then_thomas<T: Scalar>(sys: &TridiagonalSystem<T>, steps: u32) -> Result<Vec<T>> {
     let n = sys.len();
     let split = pcr_split(sys, steps)?;
     let mut x = vec![T::ZERO; n];

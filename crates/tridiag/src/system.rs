@@ -348,13 +348,19 @@ mod tests {
 
     #[test]
     fn new_rejects_bad_boundaries() {
-        let err = TridiagonalSystem::new(vec![1.0f64, 0.0], vec![1.0, 1.0], vec![0.0, 0.0], vec![
-            0.0, 0.0,
-        ]);
+        let err = TridiagonalSystem::new(
+            vec![1.0f64, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        );
         assert!(matches!(err, Err(SolverError::MalformedBoundary { .. })));
-        let err = TridiagonalSystem::new(vec![0.0f64, 0.0], vec![1.0, 1.0], vec![0.0, 1.0], vec![
-            0.0, 0.0,
-        ]);
+        let err = TridiagonalSystem::new(
+            vec![0.0f64, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 0.0],
+        );
         assert!(matches!(err, Err(SolverError::MalformedBoundary { .. })));
     }
 

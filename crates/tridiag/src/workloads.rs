@@ -312,9 +312,8 @@ mod tests {
 
     #[test]
     fn adi_requires_positive_r() {
-        let result = std::panic::catch_unwind(|| {
-            adi_heat_lines::<f64>(WorkloadShape::new(1, 8), -0.1)
-        });
+        let result =
+            std::panic::catch_unwind(|| adi_heat_lines::<f64>(WorkloadShape::new(1, 8), -0.1));
         assert!(result.is_err());
     }
 

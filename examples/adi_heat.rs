@@ -106,11 +106,7 @@ fn implicit_line_systems(u: &[f32], nx: usize, ny: usize, along_x: bool) -> Syst
 
 /// Write solved lines back into the grid.
 fn scatter_rows(u: &mut [f32], x: &[f32], along_x: bool) {
-    let (lines, len, nx) = if along_x {
-        (NY, NX, NX)
-    } else {
-        (NX, NY, NX)
-    };
+    let (lines, len, nx) = if along_x { (NY, NX, NX) } else { (NX, NY, NX) };
     for line in 0..lines {
         for i in 0..len {
             let (gx, gy) = if along_x { (i, line) } else { (line, i) };

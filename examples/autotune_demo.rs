@@ -64,7 +64,11 @@ fn main() {
     }
     let path = std::env::temp_dir().join("trisolve-tuning-cache.json");
     cache.save(&path).expect("cache is writable");
-    println!("saved {} tuned configurations to {}", cache.len(), path.display());
+    println!(
+        "saved {} tuned configurations to {}",
+        cache.len(),
+        path.display()
+    );
     let reloaded = TuningCache::load(&path).expect("cache reloads");
     assert_eq!(reloaded.len(), cache.len());
     let restored = DynamicTuner::from_config(

@@ -61,7 +61,10 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("max asymmetry: {asym:.3e}");
-    assert!(asym < 1e-9, "uniform load on a symmetric beam must deflect symmetrically");
+    assert!(
+        asym < 1e-9,
+        "uniform load on a symmetric beam must deflect symmetrically"
+    );
     assert!(w[0] < mid && w[N - 1] < mid, "clamped ends deflect least");
 
     // Print a coarse deflection profile.

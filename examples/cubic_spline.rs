@@ -79,6 +79,9 @@ fn main() {
     let x_mid = (k as f64 + 0.5) * h;
     let truth = (std::f64::consts::TAU * x_mid).sin();
     println!("spline(0.5 between knots) = {s:.6}, truth = {truth:.6}");
-    assert!((s - truth).abs() < 1e-4, "spline must interpolate accurately");
+    assert!(
+        (s - truth).abs() < 1e-4,
+        "spline must interpolate accurately"
+    );
     println!("interpolation error: {:.2e}", (s - truth).abs());
 }

@@ -91,9 +91,7 @@ fn main() {
     // boundaries).
     assert!(temp[0] < surface0, "surface must cool");
     assert!(temp[NZ - 1] >= bottom0 - 1e-3, "bottom must not cool");
-    let heat = |t: &[f32]| -> f64 {
-        (0..NZ).map(|k| t[k] as f64 * dz[k]).sum()
-    };
+    let heat = |t: &[f32]| -> f64 { (0..NZ).map(|k| t[k] as f64 * dz[k]).sum() };
     let h0 = {
         // Recompute the initial column-0 profile for the conservation check.
         let mut t0 = vec![0.0f32; NZ];
@@ -106,18 +104,17 @@ fn main() {
     };
     let h1 = heat(&temp[..NZ]);
     let drift = ((h1 - h0) / h0).abs();
-    println!("column heat drift after {STEPS} steps: {:.3e} (no-flux boundaries)", drift);
+    println!(
+        "column heat drift after {STEPS} steps: {:.3e} (no-flux boundaries)",
+        drift
+    );
     assert!(drift < 1e-4, "heat must be conserved, drift {drift:.3e}");
 }
 
 /// Assemble the backward-Euler vertical diffusion systems for every column:
 /// `(I − Δt·D) T^{n+1} = T^n`, with conservative flux form on the
 /// non-uniform grid and no-flux boundaries.
-fn implicit_diffusion_systems(
-    temp: &[f32],
-    dz: &[f64],
-    kappa: &[f64],
-) -> SystemBatch<f32> {
+fn implicit_diffusion_systems(temp: &[f32], dz: &[f64], kappa: &[f64]) -> SystemBatch<f32> {
     let nz = dz.len();
     let columns = temp.len() / nz;
     let total = columns * nz;

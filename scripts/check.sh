@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline-friendly pre-merge gate: formatting, lints, tests.
+#
+# Everything here runs against the vendored dependency stubs in `vendor/`,
+# so no network access is required. Usage:
+#
+#     scripts/check.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (tier-1: root package) =="
+cargo test -q
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -81,9 +81,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             map.insert("json".into(), "true".into());
             continue;
         }
-        let v = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         map.insert(key.to_string(), v.clone());
     }
     Ok(map)
@@ -184,10 +182,13 @@ fn cmd_solve(opts: &Opts) -> Result<(), String> {
     let batch = workload(opts, shape)?;
     let (params, tuner_name, evals) = pick_params(opts, shape, &dev)?;
     let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
-    let outcome = trisolve::solver::solve_batch_on_gpu(&mut gpu, &batch, &params)
+    let mut backend = GpuBackend::new(&mut gpu);
+    let mut session = backend.prepare(shape, &params).map_err(|e| e.to_string())?;
+    let outcome = backend
+        .solve(&mut session, &batch, &params)
         .map_err(|e| e.to_string())?;
-    let residual =
-        batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+    let residual = batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+    let timeline = StageTimeline::from_outcome(&outcome);
 
     if json_flag(opts) {
         println!(
@@ -202,34 +203,45 @@ fn cmd_solve(opts: &Opts) -> Result<(), String> {
                 "launches": outcome.kernel_stats.len(),
                 "sim_time_ms": outcome.sim_time_ms(),
                 "worst_relative_residual": residual,
+                "stage_timeline": timeline,
             }))
             .unwrap()
         );
     } else {
         println!("device    : {}", dev.name());
-        println!("workload  : {} ({} equations)", shape.label(), shape.total_equations());
+        println!(
+            "workload  : {} ({} equations)",
+            shape.label(),
+            shape.total_equations()
+        );
         println!("tuner     : {tuner_name} ({evals} micro-benchmarks)");
         println!(
             "params    : S3={} T4={} P1={} {:?}",
             params.onchip_size, params.thomas_switch, params.stage1_target_systems, params.variant
         );
         println!("plan      : {}", outcome.plan.summary());
-        println!("sim time  : {:.3} ms over {} launches", outcome.sim_time_ms(), outcome.kernel_stats.len());
+        println!(
+            "sim time  : {:.3} ms over {} launches",
+            outcome.sim_time_ms(),
+            outcome.kernel_stats.len()
+        );
         println!("residual  : {residual:.3e}");
+        print!("{}", timeline.render_table());
     }
     Ok(())
 }
 
 fn solve_f64(opts: &Opts, shape: WorkloadShape, dev: DeviceSpec) -> Result<(), String> {
-    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2011);
-    let batch: SystemBatch<f64> =
-        random_dominant(shape, seed).map_err(|e| e.to_string())?;
+    let seed: u64 = opts
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2011);
+    let batch: SystemBatch<f64> = random_dominant(shape, seed).map_err(|e| e.to_string())?;
     let params = StaticTuner.params_for(shape, dev.queryable(), 8);
     let mut gpu: Gpu<f64> = Gpu::new(dev.clone());
     let outcome = trisolve::solver::solve_batch_on_gpu(&mut gpu, &batch, &params)
         .map_err(|e| e.to_string())?;
-    let residual =
-        batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+    let residual = batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
     println!(
         "f64 solve on {}: {:.3} ms, residual {residual:.3e}",
         dev.name(),
@@ -299,7 +311,10 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         println!("{}", serde_json::to_string_pretty(&out).unwrap());
     } else {
         println!("{} on all devices (simulated ms):", shape.label());
-        println!("{:<20} {:>10} {:>10} {:>10}", "device", "untuned", "static", "dynamic");
+        println!(
+            "{:<20} {:>10} {:>10} {:>10}",
+            "device", "untuned", "static", "dynamic"
+        );
         for (name, t) in rows {
             println!("{name:<20} {:>10.3} {:>10.3} {:>10.3}", t[0], t[1], t[2]);
         }
@@ -319,8 +334,8 @@ fn cmd_sort(opts: &Opts) -> Result<(), String> {
     let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
     let mut gpu: trisolve::gpu::Gpu<u32> = trisolve::gpu::Gpu::new(dev.clone());
     let tuned = trisolve::dnc::tune_sort(&mut gpu, len);
-    let out = trisolve::dnc::sort_on_gpu(&mut gpu, &data, tuned.params)
-        .map_err(|e| e.to_string())?;
+    let out =
+        trisolve::dnc::sort_on_gpu(&mut gpu, &data, tuned.params).map_err(|e| e.to_string())?;
     assert!(out.data.windows(2).all(|w| w[0] <= w[1]));
     println!(
         "sorted {len} keys on {} in {:.3} simulated ms (tile {}, coop {}; {} tuning probes)",
@@ -339,7 +354,9 @@ fn cmd_fft(opts: &Opts) -> Result<(), String> {
         return Err("--len must be a power of two".into());
     }
     let dev = device(opts)?;
-    let re: Vec<f64> = (0..len).map(|i| ((i * 37 % 512) as f64) / 256.0 - 1.0).collect();
+    let re: Vec<f64> = (0..len)
+        .map(|i| ((i * 37 % 512) as f64) / 256.0 - 1.0)
+        .collect();
     let im = vec![0.0f64; len];
     let mut gpu: trisolve::gpu::Gpu<f64> = trisolve::gpu::Gpu::new(dev.clone());
     let (params, evals) = trisolve::dnc::tune_fft(&mut gpu, len);
@@ -364,8 +381,8 @@ fn cmd_quicksort(opts: &Opts) -> Result<(), String> {
     let data: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
     let mut gpu: trisolve::gpu::Gpu<u32> = trisolve::gpu::Gpu::new(dev.clone());
     let (params, evals) = trisolve::dnc::tune_quicksort(&mut gpu, len);
-    let out = trisolve::dnc::quicksort_on_gpu(&mut gpu, &data, params)
-        .map_err(|e| e.to_string())?;
+    let out =
+        trisolve::dnc::quicksort_on_gpu(&mut gpu, &data, params).map_err(|e| e.to_string())?;
     assert!(out.data.windows(2).all(|w| w[0] <= w[1]));
     println!(
         "quicksorted {len} keys on {} in {:.3} simulated ms \

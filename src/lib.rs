@@ -55,7 +55,8 @@ pub mod prelude {
         TuningCache,
     };
     pub use trisolve_core::{
-        solve_batch_on_gpu, BaseVariant, SolveOutcome, SolvePlan, SolverParams,
+        solve_batch_on_gpu, Backend, BaseVariant, CpuBackend, GpuBackend, SolveOutcome, SolvePlan,
+        SolveSession, SolverParams, StageTimeline,
     };
     pub use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu, QueryableProps};
     pub use trisolve_tridiag::norms::{batch_worst_relative_residual, relative_residual};

@@ -35,7 +35,15 @@ fn devices_json_is_valid_json() {
 #[test]
 fn solve_reports_plan_and_residual() {
     let (ok, stdout, _) = run(&[
-        "solve", "--systems", "8", "--size", "2048", "--tuner", "static", "--device", "280",
+        "solve",
+        "--systems",
+        "8",
+        "--size",
+        "2048",
+        "--tuner",
+        "static",
+        "--device",
+        "280",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("GeForce GTX 280"));
@@ -46,7 +54,14 @@ fn solve_reports_plan_and_residual() {
 #[test]
 fn solve_json_contains_metrics() {
     let (ok, stdout, _) = run(&[
-        "solve", "--systems", "4", "--size", "1024", "--tuner", "default", "--json",
+        "solve",
+        "--systems",
+        "4",
+        "--size",
+        "1024",
+        "--tuner",
+        "default",
+        "--json",
     ]);
     assert!(ok);
     let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
@@ -71,7 +86,15 @@ fn missing_required_flag_fails_cleanly() {
 
 #[test]
 fn bad_device_fails_cleanly() {
-    let (ok, _, stderr) = run(&["solve", "--systems", "2", "--size", "64", "--device", "9900"]);
+    let (ok, _, stderr) = run(&[
+        "solve",
+        "--systems",
+        "2",
+        "--size",
+        "64",
+        "--device",
+        "9900",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("unknown device"));
 }

@@ -100,7 +100,10 @@ fn throughput_grows_until_machine_fills() {
     let t1 = per_eq_time(1);
     let t16 = per_eq_time(16);
     let t256 = per_eq_time(256);
-    assert!(t16 < t1 * 0.7, "16 systems must beat 1: {t16:.3e} vs {t1:.3e}");
+    assert!(
+        t16 < t1 * 0.7,
+        "16 systems must beat 1: {t16:.3e} vs {t1:.3e}"
+    );
     assert!(t256 < t16, "256 systems must beat 16");
     // And once the machine is full, throughput stabilises.
     let t1024 = per_eq_time(1024);
@@ -148,8 +151,7 @@ fn many_systems_skip_stage1_entirely() {
         let shape = WorkloadShape::new(m, 16384);
         let batch = random_dominant::<f32>(shape, 5).unwrap();
         let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
-        let out =
-            solve_batch_on_gpu(&mut gpu, &batch, &SolverParams::default_untuned()).unwrap();
+        let out = solve_batch_on_gpu(&mut gpu, &batch, &SolverParams::default_untuned()).unwrap();
         assert_eq!(out.plan.stage1_steps, 0, "m={m} must not use stage 1");
         assert_eq!(out.plan.num_launches(), 2, "stage 2 + base only");
     }

@@ -72,7 +72,9 @@ fn dynamic_tuning_end_to_end_never_loses_to_default() {
 
         let t_tuned = {
             let mut g: Gpu<f32> = Gpu::new(device.clone());
-            solve_batch_on_gpu(&mut g, &batch, &tuned).unwrap().sim_time_s
+            solve_batch_on_gpu(&mut g, &batch, &tuned)
+                .unwrap()
+                .sim_time_s
         };
         let t_default = {
             let mut g: Gpu<f32> = Gpu::new(device.clone());

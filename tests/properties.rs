@@ -9,9 +9,8 @@ use trisolve::tridiag::norms;
 
 /// Strategy: a random diagonally dominant batch (small enough to be fast).
 fn small_batch() -> impl Strategy<Value = SystemBatch<f64>> {
-    (1usize..6, 1usize..200, any::<u64>()).prop_map(|(m, n, seed)| {
-        random_dominant::<f64>(WorkloadShape::new(m, n), seed).unwrap()
-    })
+    (1usize..6, 1usize..200, any::<u64>())
+        .prop_map(|(m, n, seed)| random_dominant::<f64>(WorkloadShape::new(m, n), seed).unwrap())
 }
 
 /// Strategy: valid solver parameters for the GTX 470 (f64).
@@ -92,6 +91,31 @@ proptest! {
     }
 
     #[test]
+    fn session_reuse_is_bit_identical_to_one_shot(
+        m in 1usize..6,
+        n in 1usize..200,
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        params in valid_params(),
+    ) {
+        // N solves through one reused session — cached plan, persistent
+        // device buffers — must match N independent one-shot solves bit for
+        // bit (the simulation is deterministic, so reuse may not perturb
+        // results or accounting).
+        let shape = WorkloadShape::new(m, n);
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+        for seed in seeds {
+            let batch = random_dominant::<f64>(shape, seed).unwrap();
+            let reused = session.solve(&mut gpu, &batch, &params).unwrap();
+            let mut fresh: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+            let one_shot = solve_batch_on_gpu(&mut fresh, &batch, &params).unwrap();
+            prop_assert_eq!(&reused.x, &one_shot.x);
+            prop_assert_eq!(reused.sim_time_s.to_bits(), one_shot.sim_time_s.to_bits());
+            prop_assert_eq!(reused.kernel_stats.len(), one_shot.kernel_stats.len());
+        }
+    }
+
+    #[test]
     fn tuned_params_are_always_valid(
         m in 1usize..2000,
         n in 1usize..100_000,
@@ -109,4 +133,64 @@ proptest! {
             }
         }
     }
+}
+
+/// A singular batch (zero diagonal everywhere) that passes construction but
+/// breaks down numerically inside the base kernel — mid-pipeline, after the
+/// splitting launches have already run on allocated device buffers.
+fn singular_batch(m: usize, n: usize) -> SystemBatch<f64> {
+    let mut a = vec![1.0f64; n];
+    let b = vec![0.0f64; n];
+    let mut c = vec![1.0f64; n];
+    a[0] = 0.0;
+    c[n - 1] = 0.0;
+    let d = vec![1.0f64; n];
+    let sys = TridiagonalSystem::new(a, b, c, d).unwrap();
+    SystemBatch::replicate(&sys, m).unwrap()
+}
+
+#[test]
+fn mid_pipeline_kernel_error_leaks_no_device_memory() {
+    // 2048 equations: the splitting stages run (and allocate) before the
+    // base kernel detects the breakdown.
+    let batch = singular_batch(4, 2048);
+    let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+    let err = solve_batch_on_gpu(&mut gpu, &batch, &SolverParams::default_untuned());
+    assert!(
+        matches!(
+            err,
+            Err(trisolve::solver::CoreError::NumericalBreakdown { .. })
+        ),
+        "expected numerical breakdown, got {err:?}"
+    );
+    // The session's RAII buffer guards released every device allocation on
+    // the error path — no manual cleanup anywhere on the way out.
+    assert_eq!(
+        gpu.allocated_bytes(),
+        0,
+        "device memory leaked on error path"
+    );
+}
+
+#[test]
+fn session_error_path_frees_buffers_on_drop() {
+    let shape = WorkloadShape::new(2, 128);
+    let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+    {
+        let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+        assert!(gpu.allocated_bytes() > 0, "session holds device buffers");
+        let err = session.solve(
+            &mut gpu,
+            &singular_batch(2, 128),
+            &SolverParams::default_untuned(),
+        );
+        assert!(err.is_err());
+        // The session survives the failed solve and stays usable...
+        let good = random_dominant::<f64>(shape, 7).unwrap();
+        assert!(session
+            .solve(&mut gpu, &good, &SolverParams::default_untuned())
+            .is_ok());
+    }
+    // ...and dropping it returns every byte.
+    assert_eq!(gpu.allocated_bytes(), 0);
 }

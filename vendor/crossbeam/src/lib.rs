@@ -1,0 +1,60 @@
+//! Vendored stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, mapped
+//! onto `std::thread::scope`. Crossbeam passes the scope itself to every
+//! spawned closure; this workspace never uses that argument, so the
+//! stand-in passes a zero-sized token instead.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Zero-sized token handed to spawned closures in place of crossbeam's
+    /// scope argument (the workspace ignores it: `move |_| ...`).
+    pub struct SpawnArg;
+
+    /// A scope in which child threads may borrow from the enclosing stack
+    /// frame, mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder scope
+        /// token (crossbeam passes the scope for nested spawning, which
+        /// this stand-in does not support).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&SpawnArg)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    ///
+    /// `std::thread::scope` already re-raises child panics after joining
+    /// everything, so the `Err` arm is unreachable here; the `Result`
+    /// wrapper only preserves crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

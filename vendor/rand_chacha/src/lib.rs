@@ -1,0 +1,72 @@
+//! Vendored stand-in for the `rand_chacha` crate (offline build).
+//!
+//! Exposes `ChaCha8Rng` with the `SeedableRng::seed_from_u64` entry point
+//! the workspace uses. The stream is produced by xoshiro256** seeded via
+//! SplitMix64 — deterministic and statistically strong, though not
+//! bit-compatible with real ChaCha8 (nothing in this workspace depends on
+//! the exact stream, only on reproducibility).
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic generator standing in for the ChaCha8 stream cipher RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain reference design).
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; splitmix64 cannot produce
+        // four zeros from any seed, but keep the guard explicit.
+        if s == [0; 4] {
+            s[0] = 0x1;
+        }
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = ChaCha8Rng::seed_from_u64(2011);
+        let mut b = ChaCha8Rng::seed_from_u64(2011);
+        let va: Vec<u32> = (0..64).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..64).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(2012);
+        let vc: Vec<u32> = (0..64).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+}

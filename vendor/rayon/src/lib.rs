@@ -1,0 +1,142 @@
+//! Vendored stand-in for the `rayon` crate (offline build).
+//!
+//! Implements the narrow adapter surface this workspace uses —
+//! `into_par_iter().enumerate().map(f).collect()` and
+//! `par_chunks_mut(n).enumerate().map(f).collect()` — with genuine
+//! data parallelism: items are split into contiguous chunks and mapped on
+//! `std::thread::scope` threads, preserving input order. There is no work
+//! stealing; chunking is static, which is adequate for the uniform
+//! per-block workloads the simulator produces.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Map `items` through `f` in parallel, preserving order.
+fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (inp, res) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (item, slot) in inp.iter_mut().zip(res.iter_mut()) {
+                    *slot = Some(f(item.take().expect("item present")));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|u| u.expect("mapped")).collect()
+}
+
+/// Conversion into a "parallel iterator" (an eager, order-preserving one).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert self into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel chunk splitting of mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of at most `n` elements, yielded in order.
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(n).collect(),
+        }
+    }
+}
+
+/// An eager parallel iterator over an already-materialised item list.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily attach a map stage (applied in parallel at `collect`).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collect the items in order.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A pending parallel map stage.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: From<Vec<U>>,
+    {
+        C::from(par_map(self.items, self.f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().enumerate().map(|(i, x)| i + x).collect();
+        assert_eq!(out, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all() {
+        let mut v = vec![0u32; 97];
+        let sums: Vec<usize> = v
+            .par_chunks_mut(10)
+            .enumerate()
+            .map(|(i, c)| {
+                for x in c.iter_mut() {
+                    *x = i as u32;
+                }
+                c.len()
+            })
+            .collect();
+        assert_eq!(sums.iter().sum::<usize>(), 97);
+        assert_eq!(v[95], 9);
+    }
+}

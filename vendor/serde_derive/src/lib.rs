@@ -1,0 +1,290 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline serde stand-in.
+//!
+//! The real serde_derive builds on `syn`/`quote`; neither is available
+//! offline, so this implementation walks the raw `proc_macro::TokenStream`
+//! directly and emits code as formatted strings. It supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields (any visibility, doc comments allowed)
+//! * enums with unit variants
+//! * enums with struct variants (externally tagged, like real serde)
+//!
+//! Generics, tuple structs/variants and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item we parsed.
+enum Item {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: each variant is a name plus (for struct variants) field names.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Skip `#[...]` attribute groups (including doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse the names of named fields out of a brace-group token list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive (vendored): expected `:` after field `{}`",
+                name
+            ),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse a struct or enum definition from the derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected item keyword, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported (`{name}`)");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!(
+            "serde_derive (vendored): `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                let Some(TokenTree::Ident(vname)) = body.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let vfields =
+                            parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                        variants.push((vname, Some(vfields)));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde_derive (vendored): tuple variant `{name}::{vname}` unsupported"
+                        );
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive (vendored): cannot derive on `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]`: implement the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Value::Object(vec![{entries}]))\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("vendored serde_derive: generated code parses")
+}
+
+/// `#[derive(Deserialize)]`: implement the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get(\"{f}\").unwrap_or(&::serde::Value::Null)\
+                         ).map_err(|e| ::serde::DeError::msg(\
+                             format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| {
+                    format!("::std::option::Option::Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                     inner.get(\"{f}\").unwrap_or(&::serde::Value::Null)\
+                                 )?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(entries) = v.as_object() {{\n\
+                             if let ::std::option::Option::Some((tag, inner)) = entries.first() {{\n\
+                                 #[allow(unused_variables)]\n\
+                                 match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         match v.as_str() {{\n\
+                             {unit_arms}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 format!(\"invalid {name} variant: {{v:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("vendored serde_derive: generated code parses")
+}

@@ -1,0 +1,106 @@
+//! Vendored stand-in for the `serde_json` crate (offline build).
+//!
+//! Renders and parses the vendored serde's [`Value`] tree. Supports the
+//! workspace's calls: `to_string`, `to_string_pretty`, `from_str`,
+//! `to_value`, the [`json!`] macro, and the [`Value`] accessors
+//! (`as_array`, `as_f64`, indexing, `== "str"`).
+
+pub use serde::{Number, Value};
+
+/// Error type for JSON conversion failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Convert any serialisable type to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(Error::from)
+}
+
+/// Serialise to compact JSON text. Infallible for tree-backed values; the
+/// `Result` mirrors real serde_json's signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::to_json_string(&value.to_value(), None))
+}
+
+/// Serialise to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::to_json_string(&value.to_value(), Some(2)))
+}
+
+/// Parse JSON text into any deserialisable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = serde::value::parse_json(text).map_err(Error)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Build a [`Value`] from a JSON-ish literal.
+///
+/// Object values are arbitrary `Serialize` expressions; unlike the real
+/// macro, a *nested* object literal must be wrapped in its own `json!`
+/// (`"k": json!({...})`) — the workspace only uses flat literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = String::from("gtx");
+        let v = json!({
+            "name": name,
+            "ms": 1.5,
+            "count": 3usize,
+            "nested": json!({"ok": true}),
+            "list": json!([1, 2]),
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["name"], "gtx");
+        assert_eq!(back["ms"].as_f64(), Some(1.5));
+        assert_eq!(back["nested"]["ok"].as_bool(), Some(true));
+        assert_eq!(back["list"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": json!([1, 17.25, json!({"b": "x"})])});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}
