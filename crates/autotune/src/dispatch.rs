@@ -14,8 +14,8 @@ use crate::tuners::{DynamicTuner, TunedConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use trisolve_core::engine::{Backend, CpuBackend, GpuBackend};
-use trisolve_core::kernels::GpuScalar;
-use trisolve_core::{CoreError, SolveOutcome};
+use trisolve_core::kernels::{elem_bytes, GpuScalar};
+use trisolve_core::{CoreError, SolveOutcome, SolvePlan};
 use trisolve_gpu_sim::{CpuSpec, Gpu};
 use trisolve_tridiag::workloads::WorkloadShape;
 use trisolve_tridiag::SystemBatch;
@@ -79,8 +79,18 @@ impl Dispatcher {
         }
         let mut tuner = DynamicTuner::new();
         let config = tuner.tune_for(gpu, shape);
+        let params = config.params_for(shape);
         let mut mb: Microbench<T> = Microbench::new();
-        let gpu_ms = mb.measure(gpu, shape, &config.params_for(shape)) * 1e3;
+        let mut gpu_ms = mb.measure(gpu, shape, &params) * 1e3;
+        // Static launch validation as a dispatch gate: a plan with a launch
+        // the device would reject must never be routed to the GPU, whatever
+        // the measurement said.
+        let device = gpu.spec().queryable();
+        let plan_ok = SolvePlan::build(shape, &params, device, elem_bytes::<T>())
+            .is_ok_and(|plan| !plan.validate(device, elem_bytes::<T>()).has_errors());
+        if !plan_ok {
+            gpu_ms = f64::INFINITY;
+        }
         let (cpu_s, _) = self
             .cpu_spec()
             .time_batch_lu_auto(shape.num_systems, shape.system_size);

@@ -38,6 +38,17 @@ impl<T: GpuScalar> Default for Microbench<T> {
     }
 }
 
+impl<T: GpuScalar> std::fmt::Debug for Microbench<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Microbench")
+            .field("cached_batches", &self.batches.len())
+            .field("cached_sessions", &self.sessions.len())
+            .field("reuse_sessions", &self.reuse_sessions)
+            .field("measurements", &self.measurements)
+            .finish()
+    }
+}
+
 impl<T: GpuScalar> Microbench<T> {
     /// Fresh, empty harness.
     pub fn new() -> Self {

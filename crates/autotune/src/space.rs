@@ -88,13 +88,13 @@ impl Pow2Axis {
 /// Evaluations needed to search several axes **jointly** (the Cartesian
 /// product an untamed exhaustive tuner would face).
 pub fn joint_evaluations(axes: &[Pow2Axis]) -> usize {
-    axes.iter().map(|a| a.len()).product()
+    axes.iter().map(Pow2Axis::len).product()
 }
 
 /// Evaluations needed when the axes are **decoupled** and searched
 /// independently — the paper's first pruning strategy.
 pub fn decoupled_evaluations(axes: &[Pow2Axis]) -> usize {
-    axes.iter().map(|a| a.len()).sum()
+    axes.iter().map(Pow2Axis::len).sum()
 }
 
 #[cfg(test)]

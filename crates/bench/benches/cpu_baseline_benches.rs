@@ -19,7 +19,7 @@ fn bench_algorithms(c: &mut Criterion) {
         ("thomas", BatchAlgorithm::Thomas),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, &algo| {
-            b.iter(|| solve_batch_sequential(&batch, algo).unwrap())
+            b.iter(|| solve_batch_sequential(&batch, algo).unwrap());
         });
     }
     group.finish();
@@ -32,13 +32,13 @@ fn bench_parallel_drivers(c: &mut Criterion) {
     let batch = random_dominant::<f64>(shape, 2).unwrap();
     group.throughput(Throughput::Elements(shape.total_equations() as u64));
     group.bench_function("sequential", |b| {
-        b.iter(|| solve_batch_sequential(&batch, BatchAlgorithm::Lu).unwrap())
+        b.iter(|| solve_batch_sequential(&batch, BatchAlgorithm::Lu).unwrap());
     });
     group.bench_function("rayon", |b| {
-        b.iter(|| solve_batch_parallel(&batch, BatchAlgorithm::Lu).unwrap())
+        b.iter(|| solve_batch_parallel(&batch, BatchAlgorithm::Lu).unwrap());
     });
     group.bench_function("two_threads_openmp_style", |b| {
-        b.iter(|| solve_batch_scoped(&batch, BatchAlgorithm::Lu, 2).unwrap())
+        b.iter(|| solve_batch_scoped(&batch, BatchAlgorithm::Lu, 2).unwrap());
     });
     group.finish();
 }

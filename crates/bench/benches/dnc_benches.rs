@@ -18,13 +18,13 @@ fn bench_sorts(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
             sort_on_gpu(&mut gpu, data, SortParams::default_untuned()).unwrap()
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("quicksort", len), &data, |b, data| {
         b.iter(|| {
             let mut gpu: Gpu<u32> = Gpu::new(DeviceSpec::gtx_470());
             quicksort_on_gpu(&mut gpu, data, QuickParams::default_untuned()).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -42,7 +42,7 @@ fn bench_fft(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
             fft_on_gpu(&mut gpu, &re, &im, FftParams { n1: 512 }).unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -34,7 +34,7 @@ fn bench_base_kernel(c: &mut Criterion) {
                 b.iter(|| {
                     let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
                     solve_batch_on_gpu(&mut gpu, batch, &params(n, 64.min(n))).unwrap()
-                })
+                });
             },
         );
     }
@@ -55,7 +55,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                 b.iter(|| {
                     let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
                     solve_batch_on_gpu(&mut gpu, batch, &params(512, 128)).unwrap()
-                })
+                });
             },
         );
     }
@@ -78,7 +78,7 @@ fn bench_variants(c: &mut Criterion) {
                         ..params(512, 64)
                     };
                     solve_batch_on_gpu(&mut gpu, &batch, &p).unwrap()
-                })
+                });
             },
         );
     }

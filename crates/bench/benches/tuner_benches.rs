@@ -16,7 +16,7 @@ fn bench_tune_for(c: &mut Criterion) {
             let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
             let mut tuner = DynamicTuner::new();
             tuner.tune_for(&mut gpu, WorkloadShape::new(32, 2048))
-        })
+        });
     });
     group.finish();
 }
@@ -25,10 +25,10 @@ fn bench_search_primitives(c: &mut Criterion) {
     let axis = Pow2Axis::new("x", 16, 1 << 20);
     let cost = |v: usize| ((v as f64).log2() - 10.0).abs();
     c.bench_function("hill_climb_pow2_seeded", |b| {
-        b.iter(|| hill_climb_pow2(axis, 2048, cost))
+        b.iter(|| hill_climb_pow2(axis, 2048, cost));
     });
     c.bench_function("exhaustive_pow2", |b| {
-        b.iter(|| exhaustive_pow2(axis, cost))
+        b.iter(|| exhaustive_pow2(axis, cost));
     });
 }
 

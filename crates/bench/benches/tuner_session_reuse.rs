@@ -26,7 +26,7 @@ fn bench_tuner_session_reuse(c: &mut Criterion) {
             let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
             let mut mb: Microbench<f32> = Microbench::new();
             DynamicTuner::new().tune_for_with(&mut gpu, shape, &mut mb)
-        })
+        });
     });
 
     group.bench_function("gtx470_full_tune_without_reuse", |b| {
@@ -34,7 +34,7 @@ fn bench_tuner_session_reuse(c: &mut Criterion) {
             let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
             let mut mb: Microbench<f32> = Microbench::without_session_reuse();
             DynamicTuner::new().tune_for_with(&mut gpu, shape, &mut mb)
-        })
+        });
     });
 
     group.finish();

@@ -51,9 +51,7 @@ fn time_baseline<T: GpuScalar>(
         gpu.alloc_from(&batch.d).unwrap(),
     ];
     let x = gpu.alloc(m * n).unwrap();
-    baseline_solve(&mut gpu, src, x, m, n, n, 1, algo)
-        .map(|s| s.total_time_ms())
-        .unwrap_or(f64::INFINITY)
+    baseline_solve(&mut gpu, src, x, m, n, n, 1, algo).map_or(f64::INFINITY, |s| s.total_time_ms())
 }
 
 fn main() {

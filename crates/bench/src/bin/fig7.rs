@@ -14,7 +14,9 @@ fn main() {
     let grid = experiments::paper_grid(shrink);
     println!(
         "Figure 7 reproduction: workload grid {:?}, f32\n",
-        grid.iter().map(|s| s.label()).collect::<Vec<_>>()
+        grid.iter()
+            .map(trisolve_tridiag::workloads::WorkloadShape::label)
+            .collect::<Vec<_>>()
     );
 
     let mut all = Vec::new();

@@ -253,7 +253,9 @@ pub fn fig7_device(device: &DeviceSpec, shapes: &[WorkloadShape]) -> Vec<Fig7Cel
                 shape,
                 untuned_ms: solve_ms(device, &batch, &tuned(&DefaultTuner)),
                 static_ms: solve_ms(device, &batch, &tuned(&StaticTuner)),
-                dynamic_ms: dyn_out.as_ref().map_or(f64::INFINITY, |o| o.sim_time_ms()),
+                dynamic_ms: dyn_out
+                    .as_ref()
+                    .map_or(f64::INFINITY, trisolve_core::SolveOutcome::sim_time_ms),
                 dynamic_timeline: dyn_out.map(|o| StageTimeline::from_outcome(&o)),
             }
         })
@@ -317,7 +319,9 @@ pub fn fig8_comparison(shapes: &[WorkloadShape]) -> Vec<Fig8Row> {
             }
             let params = dynamic.params_for(shape, &q, 4);
             let out = solve_outcome::<f32>(&device, &batch, &params);
-            let gpu_ms = out.as_ref().map_or(f64::INFINITY, |o| o.sim_time_ms());
+            let gpu_ms = out
+                .as_ref()
+                .map_or(f64::INFINITY, trisolve_core::SolveOutcome::sim_time_ms);
             let (cpu_s, threads) = cpu.time_batch_lu_auto(shape.num_systems, shape.system_size);
             let cpu_ms = cpu_s * 1e3;
             Fig8Row {

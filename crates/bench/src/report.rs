@@ -24,7 +24,10 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     };
     line(
         &mut out,
-        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
     );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
     let _ = writeln!(out, "{}", "-".repeat(total));

@@ -28,7 +28,9 @@ use crate::solver::SolveOutcome;
 use crate::{CoreError, Result};
 use serde::Serialize;
 use std::collections::HashMap;
-use trisolve_gpu_sim::{CpuSpec, DeviceBuffer, DeviceSpec, Gpu, KernelStats, QueryableProps};
+use trisolve_gpu_sim::{
+    CpuSpec, DeviceBuffer, DeviceSpec, Gpu, KernelStats, QueryableProps, ValidationReport,
+};
 use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
 use trisolve_tridiag::workloads::WorkloadShape;
 use trisolve_tridiag::{Scalar, SystemBatch};
@@ -167,6 +169,9 @@ pub struct SolveSession<T: GpuScalar> {
     padded_size: usize,
     device: QueryableProps,
     plans: HashMap<SolverParams, SolvePlan>,
+    /// Static launch-validation reports, one per parameter point ever
+    /// requested (clean reports included, so callers can surface warnings).
+    validation: HashMap<SolverParams, ValidationReport>,
     /// Host-side padding scratch (empty while `padded_size == system_size`,
     /// where uploads borrow straight from the batch).
     staging: Vec<T>,
@@ -201,6 +206,7 @@ impl<T: GpuScalar> SolveSession<T> {
             padded_size,
             device: gpu.spec().queryable().clone(),
             plans: HashMap::new(),
+            validation: HashMap::new(),
             staging: Vec::new(),
             src,
             dst,
@@ -223,15 +229,32 @@ impl<T: GpuScalar> SolveSession<T> {
         self.plans.len()
     }
 
-    /// The cached plan for `params`, building (and validating) on first use.
+    /// The cached plan for `params`, building (and statically validating)
+    /// on first use. A plan with launch-validation *errors* — a launch the
+    /// device would reject — is refused here, before any kernel runs; the
+    /// full report stays readable via [`SolveSession::validation_for`].
     pub fn plan_for(&mut self, params: &SolverParams) -> Result<&SolvePlan> {
         match self.plans.entry(*params) {
             std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
             std::collections::hash_map::Entry::Vacant(v) => {
                 let plan = SolvePlan::build(self.shape, params, &self.device, elem_bytes::<T>())?;
+                let report = plan.validate(&self.device, elem_bytes::<T>());
+                let rejected = report.has_errors();
+                let report_for_err = rejected.then(|| report.clone());
+                self.validation.insert(*params, report);
+                if let Some(report) = report_for_err {
+                    return Err(CoreError::PlanRejected { report });
+                }
                 Ok(v.insert(plan))
             }
         }
+    }
+
+    /// The static launch-validation report recorded for `params`, if a plan
+    /// was ever requested for it (clean reports included, so callers can
+    /// inspect warnings such as low occupancy).
+    pub fn validation_for(&self, params: &SolverParams) -> Option<&ValidationReport> {
+        self.validation.get(params)
     }
 
     fn check_batch(&self, batch: &SystemBatch<T>) -> Result<()> {

@@ -1,7 +1,7 @@
 //! Error type for the multi-stage solver.
 
 use std::fmt;
-use trisolve_gpu_sim::SimError;
+use trisolve_gpu_sim::{SimError, ValidationReport};
 use trisolve_tridiag::SolverError;
 
 /// Errors from planning or executing a multi-stage solve.
@@ -16,6 +16,12 @@ pub enum CoreError {
     Algebra(SolverError),
     /// The simulated device rejected a launch or allocation.
     Device(SimError),
+    /// Static launch validation rejected the plan before any kernel ran:
+    /// at least one of its launch configurations exceeds a device limit.
+    PlanRejected {
+        /// The full diagnostic report (errors plus any warnings).
+        report: ValidationReport,
+    },
     /// A kernel produced non-finite values (numerical breakdown inside the
     /// pivot-free GPU algorithm; use the CPU LU solver for such systems).
     NumericalBreakdown {
@@ -30,6 +36,21 @@ impl fmt::Display for CoreError {
             CoreError::BadParams { detail } => write!(f, "bad solver parameters: {detail}"),
             CoreError::Algebra(e) => write!(f, "algebra error: {e}"),
             CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::PlanRejected { report } => {
+                let total = report.errors().count();
+                match report.errors().next() {
+                    Some(first) => write!(
+                        f,
+                        "plan rejected by launch validation: {first}{}",
+                        if total > 1 {
+                            format!(" (+{} more)", total - 1)
+                        } else {
+                            String::new()
+                        }
+                    ),
+                    None => write!(f, "plan rejected by launch validation"),
+                }
+            }
             CoreError::NumericalBreakdown { kernel } => {
                 write!(f, "numerical breakdown in kernel `{kernel}`")
             }

@@ -37,6 +37,29 @@ pub const THOMAS_OPS_PER_EQ: usize = 8;
 /// Shared-memory word accesses per equation of the Thomas phase.
 pub const THOMAS_SMEM_PER_EQ: usize = 5;
 
+/// Launch geometry of the base kernel (shared between the kernel and the
+/// plan validator so the two cannot drift). Clamps `thomas_chains` to the
+/// chain length exactly as [`base_solve`] does, so the label always matches
+/// the launch. `elem_bytes` sizes the shared-memory footprint: the four
+/// coefficient arrays, one chain each.
+pub fn base_config(
+    chains: usize,
+    chain_len: usize,
+    stride: usize,
+    thomas_chains: usize,
+    variant: BaseVariant,
+    elem_bytes: usize,
+) -> LaunchConfig {
+    let t4 = thomas_chains.min(chain_len);
+    LaunchConfig::new(
+        format!("base[{chain_len}@{stride},t4={t4},{variant:?}]"),
+        chains,
+        chain_len,
+    )
+    .with_regs(BASE_KERNEL_REGS_PER_THREAD)
+    .with_shared_mem(4 * chain_len * elem_bytes)
+}
+
 /// Launch the base kernel over every chain of a batch.
 ///
 /// * `m` parent systems of `n` (power-of-two) equations live in `src`,
@@ -63,13 +86,14 @@ pub fn base_solve<T: GpuScalar>(
     debug_assert!(t4.is_power_of_two());
     let pcr_steps = t4.trailing_zeros();
 
-    let cfg = LaunchConfig::new(
-        format!("base[{chain_len}@{stride},t4={t4},{variant:?}]"),
+    let cfg = base_config(
         chains,
         chain_len,
-    )
-    .with_regs(BASE_KERNEL_REGS_PER_THREAD)
-    .with_shared_mem(4 * chain_len * elem_bytes::<T>());
+        stride,
+        thomas_chains,
+        variant,
+        elem_bytes::<T>(),
+    );
 
     // Shared-memory accesses serialise per 32-bit word on the banked
     // register-file-like shared memory: 64-bit elements cost two-way
@@ -102,6 +126,19 @@ pub fn base_solve<T: GpuScalar>(
                 ctx.gmem_read_overfetch(4 * chain_len, stride as f64);
             }
         }
+        if ctx.sanitizing() {
+            // Replay the gather through the tracked APIs: thread `j` loads
+            // its four coefficients from global memory and stages them into
+            // the block's shared arrays. Shared layout (matching the
+            // declared `4 * chain_len` element footprint): array `k`
+            // occupies elements `k*chain_len .. (k+1)*chain_len`.
+            for k in 0..4 {
+                for j in 0..chain_len {
+                    let _ = io.load(k, chain.index(j), j, "base::load");
+                    ctx.track_smem_write(k * chain_len + j, j, "base::smem_store");
+                }
+            }
+        }
         ctx.sync();
 
         // ---- Stage 3: PCR in shared memory ----------------------------
@@ -125,11 +162,40 @@ pub fn base_solve<T: GpuScalar>(
                 &mut next.3,
             );
             std::mem::swap(&mut cur, &mut next);
-            s *= 2;
             ctx.smem_conflict(PCR_SMEM_PER_EQ * chain_len, word_factor);
             ctx.ops(PCR_OPS_PER_EQ * chain_len);
+            if ctx.sanitizing() {
+                // Read half of the in-place PCR step: thread `j` reads rows
+                // `j-s`, `j`, `j+s` of every array (clamped at the ends).
+                for j in 0..chain_len {
+                    let lo = j.saturating_sub(s);
+                    let hi = (j + s).min(chain_len - 1);
+                    for k in 0..4 {
+                        ctx.track_smem_read(k * chain_len + lo, j, "base::pcr_read");
+                        ctx.track_smem_read(k * chain_len + j, j, "base::pcr_read");
+                        ctx.track_smem_read(k * chain_len + hi, j, "base::pcr_read");
+                    }
+                }
+            }
+            // The declared shared footprint (4 arrays of one chain each) is
+            // exactly single-buffered, so each PCR step must update the
+            // arrays *in place*: one barrier separates every thread's reads
+            // from the writes...
             ctx.sync();
+            if ctx.sanitizing() {
+                for j in 0..chain_len {
+                    for k in 0..4 {
+                        ctx.track_smem_write(k * chain_len + j, j, "base::pcr_write");
+                    }
+                }
+            }
+            // ...and a second one separates the writes from the next step's
+            // reads. The pair is NOT redundant: collapsing it into one
+            // barrier would put thread `j`'s write of row `j` in the same
+            // interval as thread `j∓s`'s read of that row — a read-write
+            // race the sanitizer reports if either sync is removed.
             ctx.sync();
+            s *= 2;
         }
 
         // ---- Stage 4: Thomas, one thread per chain ---------------------
@@ -153,6 +219,24 @@ pub fn base_solve<T: GpuScalar>(
         }
         ctx.serial_phase(chain_len / t4, THOMAS_OPS_PER_EQ, t4);
         ctx.smem_conflict(THOMAS_SMEM_PER_EQ * chain_len, word_factor);
+        if ctx.sanitizing() {
+            // Thomas replay: thread `t` owns sub-chain `t` and sweeps it,
+            // reading all four arrays and overwriting the d-array slots
+            // with the solution. Chains are disjoint, so every element is
+            // touched by exactly one thread — hazard-free by construction.
+            for (t, sub) in ChainView::chains_of(0, chain_len, t4)
+                .into_iter()
+                .enumerate()
+            {
+                for i in 0..sub.len {
+                    let e = sub.index(i);
+                    for k in 0..4 {
+                        ctx.track_smem_read(k * chain_len + e, t, "base::thomas_read");
+                    }
+                    ctx.track_smem_write(3 * chain_len + e, t, "base::thomas_write");
+                }
+            }
+        }
         ctx.sync();
 
         // ---- Store phase ----------------------------------------------
@@ -161,7 +245,7 @@ pub fn base_solve<T: GpuScalar>(
                 failed.store(true, Ordering::Relaxed);
                 return;
             }
-            io.scattered[0].set(chain.index(j), v);
+            io.scattered[0].set_at(chain.index(j), v, j, "base::store");
         }
         ctx.gmem_write(chain_len, stride);
     })?;

@@ -54,6 +54,24 @@ const PCR_SMEM_PER_EQ: usize = 16;
 const CR_OPS_PER_EQ: usize = 14;
 const CR_SMEM_PER_EQ: usize = 18;
 
+/// Launch geometry of a prior-art baseline kernel (shared between the
+/// kernel and validation callers so the two cannot drift).
+pub fn baseline_config(
+    chains: usize,
+    chain_len: usize,
+    stride: usize,
+    algo: BaselineAlgo,
+    elem_bytes: usize,
+) -> LaunchConfig {
+    LaunchConfig::new(
+        format!("baseline[{}@{stride},{}]", chain_len, algo.label()),
+        chains,
+        chain_len,
+    )
+    .with_regs(BASE_KERNEL_REGS_PER_THREAD)
+    .with_shared_mem(4 * chain_len * elem_bytes)
+}
+
 /// Solve every chain of a batch with a prior-art on-chip kernel
 /// (one block per chain, same launch geometry as
 /// [`crate::kernels::base_solve`]).
@@ -71,13 +89,7 @@ pub fn baseline_solve<T: GpuScalar>(
     debug_assert!(chain_len.is_power_of_two());
     debug_assert_eq!(chain_len * stride, n);
     let chains = m * stride;
-    let cfg = LaunchConfig::new(
-        format!("baseline[{}@{stride},{}]", chain_len, algo.label()),
-        chains,
-        chain_len,
-    )
-    .with_regs(BASE_KERNEL_REGS_PER_THREAD)
-    .with_shared_mem(4 * chain_len * elem_bytes::<T>());
+    let cfg = baseline_config(chains, chain_len, stride, algo, elem_bytes::<T>());
 
     let word_factor = f64::max(elem_bytes::<T>() as f64 / 4.0, 1.0);
     let failed = AtomicBool::new(false);
@@ -98,6 +110,19 @@ pub fn baseline_solve<T: GpuScalar>(
             chain.gather(io.inputs[3]),
         );
         ctx.gmem_read(4 * chain_len, stride);
+        if ctx.sanitizing() {
+            // Replay the gather through the tracked API so memcheck /
+            // initcheck see the kernel's true global read set (values were
+            // already read above). The baselines' internal shared-memory
+            // choreography differs per algorithm and is not replayed per
+            // element; their global read/write sets are what the sanitizer
+            // audits here.
+            for k in 0..4 {
+                for j in 0..chain_len {
+                    let _ = io.load(k, chain.index(j), j, "baseline::gather");
+                }
+            }
+        }
         ctx.sync();
 
         let local = match local {
@@ -148,7 +173,7 @@ pub fn baseline_solve<T: GpuScalar>(
                         failed.store(true, Ordering::Relaxed);
                         return;
                     }
-                    io.scattered[0].set(chain.index(j), *v);
+                    io.scattered[0].set_at(chain.index(j), *v, j, "baseline::store");
                 }
                 ctx.gmem_write(chain_len, stride);
             }

@@ -13,11 +13,11 @@ pub mod repack;
 pub mod stage1;
 pub mod stage2;
 
-pub use base::base_solve;
-pub use baselines::{baseline_solve, BaselineAlgo};
-pub use repack::{repack_chains, unpack_solution};
-pub use stage1::stage1_step;
-pub use stage2::stage2_split;
+pub use base::{base_config, base_solve};
+pub use baselines::{baseline_config, baseline_solve, BaselineAlgo};
+pub use repack::{repack_chains, repack_config, unpack_config, unpack_solution};
+pub use stage1::{stage1_config, stage1_step};
+pub use stage2::{stage2_config, stage2_split};
 
 use trisolve_gpu_sim::Element;
 use trisolve_tridiag::Scalar;

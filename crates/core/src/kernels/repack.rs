@@ -20,6 +20,33 @@ use trisolve_tridiag::system::ChainView;
 /// the tile, one read out).
 const TRANSPOSE_SMEM_PER_EQ: usize = 2;
 
+/// Launch geometry of the repack (transpose-in) pass (shared between the
+/// kernel and the plan validator so the two cannot drift).
+pub fn repack_config(m: usize, n: usize, stride: usize, elem_bytes: usize) -> LaunchConfig {
+    let chain_len = n / stride;
+    let chains = m * stride;
+    LaunchConfig::new(
+        format!("repack[{chains}x{chain_len}@{stride}]"),
+        chains,
+        256.min(chain_len.max(32)),
+    )
+    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
+    .with_shared_mem(32 * 33 * elem_bytes) // padded transpose tile
+}
+
+/// Launch geometry of the unpack (transpose-out) pass.
+pub fn unpack_config(m: usize, n: usize, stride: usize, elem_bytes: usize) -> LaunchConfig {
+    let chain_len = n / stride;
+    let chains = m * stride;
+    LaunchConfig::new(
+        format!("unpack[{chains}x{chain_len}@{stride}]"),
+        chains,
+        256.min(chain_len.max(32)),
+    )
+    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
+    .with_shared_mem(32 * 33 * elem_bytes)
+}
+
 /// Repack the four coefficient arrays from interleaved chains (stride `k`
 /// inside each parent of `n` equations) into chain-major contiguous layout:
 /// chain `c` of parent `p` lands at `(p*k + c) * (n/k)`.
@@ -36,14 +63,7 @@ pub fn repack_chains<T: GpuScalar>(
 ) -> Result<KernelStats> {
     debug_assert!(n.is_multiple_of(stride));
     let chain_len = n / stride;
-    let chains = m * stride;
-    let cfg = LaunchConfig::new(
-        format!("repack[{chains}x{chain_len}@{stride}]"),
-        chains,
-        256.min(chain_len.max(32)),
-    )
-    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
-    .with_shared_mem(32 * 33 * std::mem::size_of::<T>()); // padded transpose tile
+    let cfg = repack_config(m, n, stride, std::mem::size_of::<T>());
 
     let outputs: Vec<_> = dst
         .iter()
@@ -58,9 +78,13 @@ pub fn repack_chains<T: GpuScalar>(
             stride,
             len: chain_len,
         };
-        for (arr, out) in io.inputs.iter().zip(io.owned.iter_mut()) {
+        // Tracked copy: logical thread `j` owns chain element `j`. The
+        // padded shared tile's internal staging is not replayed per element
+        // (the tile layout is conflict- and race-free by construction).
+        for k in 0..4 {
             for j in 0..chain_len {
-                out[j] = arr[chain.index(j)];
+                let v = io.load(k, chain.index(j), j, "repack::gather");
+                io.store(k, j, v, j, "repack::store");
             }
         }
         // Tiled transpose: both global sides coalesced, staged through a
@@ -86,14 +110,7 @@ pub fn unpack_solution<T: GpuScalar>(
 ) -> Result<KernelStats> {
     debug_assert!(n.is_multiple_of(stride));
     let chain_len = n / stride;
-    let chains = m * stride;
-    let cfg = LaunchConfig::new(
-        format!("unpack[{chains}x{chain_len}@{stride}]"),
-        chains,
-        256.min(chain_len.max(32)),
-    )
-    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
-    .with_shared_mem(32 * 33 * std::mem::size_of::<T>());
+    let cfg = unpack_config(m, n, stride, std::mem::size_of::<T>());
 
     let stats = gpu.launch(
         &cfg,
@@ -109,7 +126,8 @@ pub fn unpack_solution<T: GpuScalar>(
                 len: chain_len,
             };
             for j in 0..chain_len {
-                io.scattered[0].set(chain.index(j), io.inputs[0][bid * chain_len + j]);
+                let v = io.load(0, bid * chain_len + j, j, "unpack::load");
+                io.scattered[0].set_at(chain.index(j), v, j, "unpack::scatter");
             }
             ctx.gmem_read(chain_len, 1);
             ctx.gmem_write(chain_len, 1);

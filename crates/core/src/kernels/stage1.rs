@@ -11,7 +11,7 @@
 use crate::kernels::{CoeffBuffers, GpuScalar};
 use crate::params::{SPLIT_KERNEL_REGS_PER_THREAD, SPLIT_KERNEL_THREADS};
 use crate::Result;
-use trisolve_gpu_sim::{Gpu, KernelStats, LaunchConfig, OutMode};
+use trisolve_gpu_sim::{BlockIo, Gpu, KernelStats, LaunchConfig, OutMode};
 
 /// Per-equation thread-operations of one PCR row update.
 pub const PCR_OPS_PER_EQ: usize = 12;
@@ -27,6 +27,21 @@ pub const PCR_STAGING_SMEM_PER_EQ: usize = 12;
 /// Per-equation global stores of one PCR row update.
 pub const PCR_STORES_PER_EQ: usize = 4;
 
+/// Launch geometry of one cooperative splitting step. The kernel launches
+/// with exactly this configuration, so static validation of the config *is*
+/// validation of the launch — the two cannot drift.
+pub fn stage1_config(m: usize, n: usize, stride: usize) -> LaunchConfig {
+    let total = m * n;
+    let chunk = n.min(1024);
+    let grid = total / chunk;
+    LaunchConfig::new(
+        format!("stage1[stride={stride}]"),
+        grid,
+        SPLIT_KERNEL_THREADS,
+    )
+    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
+}
+
 /// Launch one cooperative splitting step: PCR at `stride` over a batch of
 /// `m` systems of `n` (power-of-two) equations, reading `src` and writing
 /// `dst`.
@@ -39,15 +54,8 @@ pub fn stage1_step<T: GpuScalar>(
     stride: usize,
 ) -> Result<KernelStats> {
     debug_assert!(n.is_power_of_two());
-    let total = m * n;
     let chunk = n.min(1024);
-    let grid = total / chunk;
-    let cfg = LaunchConfig::new(
-        format!("stage1[stride={stride}]"),
-        grid,
-        SPLIT_KERNEL_THREADS,
-    )
-    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD);
+    let cfg = stage1_config(m, n, stride);
 
     let outputs: Vec<_> = dst
         .iter()
@@ -55,31 +63,36 @@ pub fn stage1_step<T: GpuScalar>(
         .collect();
 
     let stats = gpu.launch(&cfg, &src, &outputs, |ctx, io| {
-        let (a, b, c, d) = (io.inputs[0], io.inputs[1], io.inputs[2], io.inputs[3]);
         let base = ctx.block_id as usize * chunk;
         // Fetch a full row, treating indices outside this equation's system
-        // as identity rows (b = 1, everything else 0).
-        let row = |sys: usize, pos: isize| -> (T, T, T, T) {
+        // as identity rows (b = 1, everything else 0). Logical thread `tid`
+        // owns element `tid` of the block's chunk.
+        let row = |io: &BlockIo<T>, sys: usize, pos: isize, tid: usize| -> (T, T, T, T) {
             if pos < 0 || pos as usize >= n {
                 (T::ZERO, T::ONE, T::ZERO, T::ZERO)
             } else {
                 let g = sys * n + pos as usize;
-                (a[g], b[g], c[g], d[g])
+                (
+                    io.load(0, g, tid, "stage1::row"),
+                    io.load(1, g, tid, "stage1::row"),
+                    io.load(2, g, tid, "stage1::row"),
+                    io.load(3, g, tid, "stage1::row"),
+                )
             }
         };
         for i in 0..chunk {
             let g = base + i;
             let sys = g / n;
             let pos = (g % n) as isize;
-            let (ai, bi, ci, di) = row(sys, pos);
-            let (am, bm, cm, dm) = row(sys, pos - stride as isize);
-            let (ap, bp, cp, dp) = row(sys, pos + stride as isize);
+            let (ai, bi, ci, di) = row(io, sys, pos, i);
+            let (am, bm, cm, dm) = row(io, sys, pos - stride as isize, i);
+            let (ap, bp, cp, dp) = row(io, sys, pos + stride as isize, i);
             let alpha = -ai / bm;
             let gamma = -ci / bp;
-            io.owned[0][i] = alpha * am;
-            io.owned[1][i] = bi + alpha * cm + gamma * ap;
-            io.owned[2][i] = gamma * cp;
-            io.owned[3][i] = di + alpha * dm + gamma * dp;
+            io.store(0, i, alpha * am, i, "stage1::store");
+            io.store(1, i, bi + alpha * cm + gamma * ap, i, "stage1::store");
+            io.store(2, i, gamma * cp, i, "stage1::store");
+            io.store(3, i, di + alpha * dm + gamma * dp, i, "stage1::store");
         }
         ctx.gmem_read_staged(PCR_LOADS_PER_EQ * chunk, PCR_UNIQUE_LOADS_PER_EQ * chunk, 1);
         ctx.gmem_write(PCR_STORES_PER_EQ * chunk, 1);

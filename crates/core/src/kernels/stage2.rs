@@ -25,6 +25,19 @@ use trisolve_gpu_sim::{Gpu, KernelStats, LaunchConfig, OutMode};
 use trisolve_tridiag::pcr;
 use trisolve_tridiag::system::ChainView;
 
+/// Launch geometry of the independent splitting stage (shared between the
+/// kernel and the plan validator so the two cannot drift).
+pub fn stage2_config(m: usize, n: usize, stride_in: usize, steps: u32) -> LaunchConfig {
+    let chains = m * stride_in;
+    let chain_len = n / stride_in;
+    LaunchConfig::new(
+        format!("stage2[chains={chains},steps={steps}]"),
+        chains,
+        SPLIT_KERNEL_THREADS.min(chain_len),
+    )
+    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD)
+}
+
 /// Launch the independent splitting stage.
 ///
 /// * `m` parent systems of `n` equations (power of two) live in `src`.
@@ -45,14 +58,8 @@ pub fn stage2_split<T: GpuScalar>(
     debug_assert!(n.is_power_of_two());
     debug_assert!(stride_in.is_power_of_two());
     debug_assert!(steps >= 1);
-    let chains = m * stride_in;
     let chain_len = n / stride_in;
-    let cfg = LaunchConfig::new(
-        format!("stage2[chains={chains},steps={steps}]"),
-        chains,
-        SPLIT_KERNEL_THREADS.min(chain_len),
-    )
-    .with_regs(SPLIT_KERNEL_REGS_PER_THREAD);
+    let cfg = stage2_config(m, n, stride_in, steps);
 
     let outputs: Vec<_> = dst.iter().map(|&b| (b, OutMode::Scattered)).collect();
 
@@ -72,6 +79,19 @@ pub fn stage2_split<T: GpuScalar>(
             chain.gather(io.inputs[2]),
             chain.gather(io.inputs[3]),
         );
+        if ctx.sanitizing() {
+            // Replay the gather through the tracked API (the values were
+            // already read above) so memcheck/initcheck see the kernel's
+            // true global read set. Logical thread `j` owns chain element
+            // `j`. The per-step streaming below double-buffers through
+            // global memory (`src` → `dst`), so it is race-free by
+            // construction and needs no shared-memory replay.
+            for k in 0..4 {
+                for j in 0..chain_len {
+                    let _ = io.load(k, chain.index(j), j, "stage2::gather");
+                }
+            }
+        }
         let mut next = (
             vec![T::ZERO; chain_len],
             vec![T::ZERO; chain_len],
@@ -108,10 +128,10 @@ pub fn stage2_split<T: GpuScalar>(
         // Scatter the final coefficients to the chain's parent positions.
         for j in 0..chain_len {
             let g = chain.index(j);
-            io.scattered[0].set(g, cur.0[j]);
-            io.scattered[1].set(g, cur.1[j]);
-            io.scattered[2].set(g, cur.2[j]);
-            io.scattered[3].set(g, cur.3[j]);
+            io.scattered[0].set_at(g, cur.0[j], j, "stage2::scatter");
+            io.scattered[1].set_at(g, cur.1[j], j, "stage2::scatter");
+            io.scattered[2].set_at(g, cur.2[j], j, "stage2::scatter");
+            io.scattered[3].set_at(g, cur.3[j], j, "stage2::scatter");
         }
     })?;
     Ok(stats)

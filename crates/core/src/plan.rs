@@ -2,10 +2,11 @@
 //! parameter set, produce the executable sequence of stage invocations.
 
 use crate::error::CoreError;
+use crate::kernels::{base_config, stage1_config, stage2_config};
 use crate::params::{BaseVariant, SolverParams};
 use crate::Result;
 use serde::Serialize;
-use trisolve_gpu_sim::QueryableProps;
+use trisolve_gpu_sim::{validate_launches, LaunchConfig, QueryableProps, ValidationReport};
 use trisolve_tridiag::workloads::WorkloadShape;
 
 /// One stage invocation in a solve plan.
@@ -178,6 +179,46 @@ impl SolvePlan {
     /// Total number of kernel launches this plan performs.
     pub fn num_launches(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The launch configuration of every stage invocation, in execution
+    /// order. Built by the *same* config constructors the kernels launch
+    /// with, so validating these configurations is validating the actual
+    /// launches — the two cannot drift.
+    pub fn launch_configs(&self, elem_bytes: usize) -> Vec<LaunchConfig> {
+        let m = self.shape.num_systems;
+        let np = self.padded_size;
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                StageOp::Stage1Split { stride, .. } => stage1_config(m, np, stride),
+                StageOp::Stage2Split {
+                    stride_in, steps, ..
+                } => stage2_config(m, np, stride_in, steps),
+                StageOp::BaseSolve {
+                    chains,
+                    chain_len,
+                    stride,
+                    thomas_chains,
+                    variant,
+                } => base_config(
+                    chains,
+                    chain_len,
+                    stride,
+                    thomas_chains,
+                    variant,
+                    elem_bytes,
+                ),
+            })
+            .collect()
+    }
+
+    /// Statically validate every launch of this plan against a device's
+    /// queryable limits, *before* any kernel runs. Errors mean the device
+    /// would reject a launch outright; warnings flag launches that run but
+    /// under-utilise the machine (see [`trisolve_gpu_sim::validate_launch`]).
+    pub fn validate(&self, device: &QueryableProps, elem_bytes: usize) -> ValidationReport {
+        validate_launches(device, &self.launch_configs(elem_bytes))
     }
 
     /// Human-readable one-line summary, e.g.

@@ -194,7 +194,11 @@ mod tests {
         let batch = workloads::random_dominant::<f64>(shape, 5).unwrap();
         let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
         let out = solve_batch_on_gpu(&mut gpu, &batch, &p).unwrap();
-        let sum: f64 = out.kernel_stats.iter().map(|s| s.total_time_s()).sum();
+        let sum: f64 = out
+            .kernel_stats
+            .iter()
+            .map(trisolve_gpu_sim::KernelStats::total_time_s)
+            .sum();
         assert!((sum - out.sim_time_s).abs() < 1e-12);
     }
 

@@ -379,9 +379,7 @@ pub fn tune_quicksort(gpu: &mut Gpu<u32>, len: usize) -> (QuickParams, usize) {
     };
     let onchip_axis = Pow2Axis::new("qs_onchip", 64, max_onchip);
     let measure = |gpu: &mut Gpu<u32>, p: QuickParams| {
-        quicksort_on_gpu(gpu, &data, p)
-            .map(|o| o.sim_time_s)
-            .unwrap_or(f64::INFINITY)
+        quicksort_on_gpu(gpu, &data, p).map_or(f64::INFINITY, |o| o.sim_time_s)
     };
 
     let coop_seed = gpu.spec().queryable().num_processors.next_power_of_two();

@@ -20,12 +20,27 @@
 //! Scattered outputs are race-checked: if two blocks write the same element,
 //! the launch fails with [`SimError::WriteRace`] instead of silently
 //! corrupting data (on hardware this would be undefined behaviour).
+//!
+//! When the device was built with [`crate::Gpu::with_sanitizer`], the
+//! *tracked* access APIs — [`BlockIo::load`], [`BlockIo::store`],
+//! [`ScatterWriter::set_at`], [`BlockCtx::track_smem_read`] /
+//! [`BlockCtx::track_smem_write`] — additionally feed a per-block
+//! [`BlockShadow`] that implements memcheck / initcheck / racecheck (see
+//! [`crate::sanitizer`]). Without a sanitizer the tracked APIs degrade to
+//! the plain accesses at the cost of one branch.
+
+// The only unsafe code in the workspace lives in this module (`SharedOut`'s
+// scattered-write pointer); the workspace-level `unsafe_code = "deny"` lint
+// is lifted here and every unsafe block carries a SAFETY comment.
+#![allow(unsafe_code)]
 
 use crate::cost::CostCounters;
 use crate::device::DeviceSpec;
 use crate::error::SimError;
+use crate::sanitizer::{BlockShadow, InitMask, Region};
 use crate::Element;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Configuration of one kernel launch.
@@ -98,6 +113,10 @@ pub struct BlockCtx<'a> {
     device: &'a DeviceSpec,
     elem_bytes: usize,
     counters: CostCounters,
+    /// Sanitizer shadow state, present only under `Gpu::with_sanitizer`.
+    /// Kept strictly apart from the cost counters so tracking can never
+    /// perturb a simulated timing.
+    shadow: Option<&'a RefCell<BlockShadow>>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -113,7 +132,58 @@ impl<'a> BlockCtx<'a> {
             device,
             elem_bytes,
             counters: CostCounters::default(),
+            shadow: None,
         }
+    }
+
+    pub(crate) fn attach_shadow(&mut self, cell: &'a RefCell<BlockShadow>) {
+        self.shadow = Some(cell);
+    }
+
+    /// True when this launch runs under the dynamic sanitizer; kernels use
+    /// this to guard replay-only tracking work that would otherwise burn
+    /// host time for nothing.
+    pub fn sanitizing(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Sanitizer hook: record that logical thread `tid` *reads* shared-memory
+    /// element `idx` at source site `site`. No-op without a sanitizer or when
+    /// the launch declared no shared memory; checks bounds against the
+    /// declared shared allocation, reads-before-any-write (initcheck) and
+    /// same-interval conflicts with other threads (racecheck).
+    pub fn track_smem_read(&mut self, idx: usize, tid: usize, site: &'static str) {
+        let Some(cell) = self.shadow else { return };
+        let mut s = cell.borrow_mut();
+        let elems = s.smem_elems();
+        if elems == 0 {
+            return;
+        }
+        if idx >= elems {
+            s.record_oob(Region::Shared, idx, elems, tid, site, false);
+            return;
+        }
+        if !s.smem_initialized(idx) {
+            s.record_uninit(Region::Shared, idx, tid, site);
+        }
+        s.record_access(Region::Shared, idx, tid, site, false);
+    }
+
+    /// Sanitizer hook: record that logical thread `tid` *writes* shared-memory
+    /// element `idx` at source site `site` (see [`BlockCtx::track_smem_read`]).
+    pub fn track_smem_write(&mut self, idx: usize, tid: usize, site: &'static str) {
+        let Some(cell) = self.shadow else { return };
+        let mut s = cell.borrow_mut();
+        let elems = s.smem_elems();
+        if elems == 0 {
+            return;
+        }
+        if idx >= elems {
+            s.record_oob(Region::Shared, idx, elems, tid, site, true);
+            return;
+        }
+        s.record_access(Region::Shared, idx, tid, site, true);
+        s.mark_smem_write(idx);
     }
 
     /// Record a global-memory read of `elems` elements accessed with an
@@ -255,9 +325,14 @@ impl<'a> BlockCtx<'a> {
         self.counters.thread_ops += n as f64;
     }
 
-    /// Record a block-wide barrier (`__syncthreads`).
+    /// Record a block-wide barrier (`__syncthreads`). Under the sanitizer
+    /// this also closes the racecheck *barrier interval*: accesses before
+    /// the barrier happen-before accesses after it.
     pub fn sync(&mut self) {
         self.counters.barriers += 1.0;
+        if let Some(cell) = self.shadow {
+            cell.borrow_mut().barrier();
+        }
     }
 
     /// The device this block runs on (queryable part is fair game for
@@ -331,6 +406,19 @@ impl<E: Element> SharedOut<E> {
         }
     }
 
+    /// Initcheck shadow of this launch's writes: which elements were
+    /// claimed. `None` when race checking (and hence the claim map) is off.
+    pub(crate) fn written_mask(&self) -> Option<InitMask> {
+        let claims = self.claims.as_ref()?;
+        let mut mask = InitMask::new_uninit(self.len);
+        for (i, c) in claims.iter().enumerate() {
+            if c.load(Ordering::Relaxed) != UNCLAIMED {
+                mask.set(i);
+            }
+        }
+        Some(mask)
+    }
+
     pub(crate) fn race_error(&self) -> Option<SimError> {
         if self.race.load(Ordering::Relaxed) {
             let (index, first_block, second_block) = self.race_info.lock().unwrap_or((0, 0, 0));
@@ -349,6 +437,20 @@ impl<E: Element> SharedOut<E> {
 pub struct ScatterWriter<'a, E: Element> {
     pub(crate) out: &'a SharedOut<E>,
     pub(crate) block: u32,
+    /// Position of this buffer among the launch's scattered outputs, for
+    /// hazard reports.
+    pub(crate) slot: usize,
+    pub(crate) shadow: Option<&'a RefCell<BlockShadow>>,
+}
+
+impl<E: Element> std::fmt::Debug for ScatterWriter<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterWriter")
+            .field("block", &self.block)
+            .field("slot", &self.slot)
+            .field("len", &self.out.len)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<E: Element> ScatterWriter<'_, E> {
@@ -356,6 +458,32 @@ impl<E: Element> ScatterWriter<'_, E> {
     /// block already wrote this element.
     #[inline]
     pub fn set(&self, idx: usize, v: E) {
+        self.out.set(self.block, idx, v);
+    }
+
+    /// Tracked write: like [`ScatterWriter::set`], but reports the logical
+    /// thread `tid` and source site to the sanitizer. Under the sanitizer an
+    /// out-of-bounds index is *recorded* and the write dropped (so the launch
+    /// can keep collecting hazards) instead of panicking; same-block
+    /// same-interval conflicts between different threads are racechecked.
+    /// Without a sanitizer this is exactly `set`.
+    #[inline]
+    pub fn set_at(&self, idx: usize, v: E, tid: usize, site: &'static str) {
+        if let Some(cell) = self.shadow {
+            let mut s = cell.borrow_mut();
+            if idx >= self.out.len {
+                s.record_oob(
+                    Region::ScatteredOut(self.slot),
+                    idx,
+                    self.out.len,
+                    tid,
+                    site,
+                    true,
+                );
+                return;
+            }
+            s.record_access(Region::ScatteredOut(self.slot), idx, tid, site, true);
+        }
         self.out.set(self.block, idx, v);
     }
 
@@ -370,6 +498,13 @@ impl<E: Element> ScatterWriter<'_, E> {
     }
 }
 
+/// Per-block sanitizer wiring carried by [`BlockIo`]: the shadow cell plus
+/// views of the launch inputs' global-memory init masks.
+pub(crate) struct ShadowHandle<'a> {
+    pub(crate) cell: &'a RefCell<BlockShadow>,
+    pub(crate) input_init: &'a [&'a InitMask],
+}
+
 /// Everything a block can touch: input views, its owned chunks, and the
 /// scattered writers, in the order the corresponding buffers were passed to
 /// [`crate::Gpu::launch`].
@@ -380,6 +515,74 @@ pub struct BlockIo<'a, E: Element> {
     pub owned: Vec<&'a mut [E]>,
     /// Writers for each `Scattered` output.
     pub scattered: Vec<ScatterWriter<'a, E>>,
+    pub(crate) shadow: Option<ShadowHandle<'a>>,
+}
+
+impl<E: Element> std::fmt::Debug for BlockIo<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockIo")
+            .field("inputs", &self.inputs.len())
+            .field("owned", &self.owned.len())
+            .field("scattered", &self.scattered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, E: Element> BlockIo<'a, E> {
+    /// Tracked read of `inputs[input][idx]` by logical thread `tid` at
+    /// source site `site`.
+    ///
+    /// Without a sanitizer this is a plain (panicking) index. Under the
+    /// sanitizer, an out-of-bounds index is recorded as a memcheck hazard
+    /// and `E::default()` is returned, and a read of an element no upload or
+    /// prior kernel ever wrote is recorded as an initcheck hazard. Input
+    /// buffers are immutable for the whole launch, so reads need no
+    /// racecheck.
+    #[inline]
+    pub fn load(&self, input: usize, idx: usize, tid: usize, site: &'static str) -> E {
+        let arr = self.inputs[input];
+        if let Some(h) = &self.shadow {
+            if idx >= arr.len() {
+                h.cell.borrow_mut().record_oob(
+                    Region::Input(input),
+                    idx,
+                    arr.len(),
+                    tid,
+                    site,
+                    false,
+                );
+                return E::default();
+            }
+            if !h.input_init[input].get(idx) {
+                h.cell
+                    .borrow_mut()
+                    .record_uninit(Region::Input(input), idx, tid, site);
+            }
+        }
+        arr[idx]
+    }
+
+    /// Tracked write of `owned[out][idx] = v` (block-local index) by logical
+    /// thread `tid` at source site `site`.
+    ///
+    /// Without a sanitizer this is a plain (panicking) index assignment.
+    /// Under the sanitizer an out-of-bounds index is recorded and the write
+    /// dropped; in-bounds writes are racechecked against same-interval
+    /// accesses by other threads and feed the chunk's init shadow.
+    #[inline]
+    pub fn store(&mut self, out: usize, idx: usize, v: E, tid: usize, site: &'static str) {
+        let chunk_len = self.owned[out].len();
+        if let Some(h) = &self.shadow {
+            let mut s = h.cell.borrow_mut();
+            if idx >= chunk_len {
+                s.record_oob(Region::ChunkedOut(out), idx, chunk_len, tid, site, true);
+                return;
+            }
+            s.record_access(Region::ChunkedOut(out), idx, tid, site, true);
+            s.mark_owned_write(out, idx, chunk_len);
+        }
+        self.owned[out][idx] = v;
+    }
 }
 
 /// Aliases to keep `Gpu::launch`'s signature readable.

@@ -35,7 +35,9 @@ pub mod device;
 pub mod error;
 pub mod launch;
 pub mod memory;
+pub mod sanitizer;
 pub mod timing;
+pub mod validate;
 
 pub use cost::{CostCounters, KernelStats, LimitedBy};
 pub use cpu::CpuSpec;
@@ -43,6 +45,10 @@ pub use device::{DeviceSpec, HiddenProps, QueryableProps};
 pub use error::SimError;
 pub use launch::{BlockCtx, BlockIo, BlockOut, LaunchConfig, OutMode, ScatterWriter};
 pub use memory::{BufferId, DeviceBuffer, Gpu, ProfileEntry};
+pub use sanitizer::{AccessSite, Hazard, HazardKind, Region, SanitizerReport};
+pub use validate::{
+    occupancy_estimate, validate_launch, validate_launches, DiagLevel, Diagnostic, ValidationReport,
+};
 
 /// Element types storable in simulated device memory.
 pub trait Element: Copy + Send + Sync + Default + std::fmt::Debug + 'static {

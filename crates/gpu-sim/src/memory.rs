@@ -4,11 +4,15 @@
 use crate::cost::{CostCounters, KernelStats};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
-use crate::launch::{BlockCtx, BlockIo, LaunchConfig, OutMode, ScatterWriter, SharedOut};
+use crate::launch::{
+    BlockCtx, BlockIo, LaunchConfig, OutMode, ScatterWriter, ShadowHandle, SharedOut,
+};
+use crate::sanitizer::{BlockShadow, Hazard, InitMask, SanitizerReport};
 use crate::timing;
 use crate::Element;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Handle to a buffer in simulated global memory.
@@ -119,6 +123,26 @@ pub struct Gpu<E: Element> {
     timeline: Vec<KernelStats>,
     elapsed_s: f64,
     free_queue: FreeQueue,
+    sanitizer: Option<SanitizerState>,
+}
+
+/// Device-side sanitizer state: a global-memory init shadow per buffer slot
+/// (parallel to `Gpu::buffers`; slots are never reused) plus the accumulated
+/// hazard report.
+#[derive(Debug)]
+struct SanitizerState {
+    init: Vec<InitMask>,
+    report: SanitizerReport,
+}
+
+/// What one sanitized launch learned, to be folded into [`SanitizerState`]
+/// after the output buffers are restored.
+struct LaunchAudit {
+    hazards: Vec<Hazard>,
+    dropped: usize,
+    /// `(buffer slot, written-mask)` per output: which elements this launch
+    /// initialised.
+    output_inits: Vec<(usize, InitMask)>,
 }
 
 impl<E: Element> Gpu<E> {
@@ -132,7 +156,60 @@ impl<E: Element> Gpu<E> {
             timeline: Vec::new(),
             elapsed_s: 0.0,
             free_queue: Arc::new(Mutex::new(Vec::new())),
+            sanitizer: None,
         }
+    }
+
+    /// Create a device with the dynamic sanitizer enabled (see
+    /// [`crate::sanitizer`]): every launch shadow-tracks the accesses made
+    /// through the tracked `BlockIo`/`ScatterWriter`/`BlockCtx` APIs and
+    /// records memcheck / initcheck / racecheck hazards. Hazards are
+    /// reported, not fatal; read them via [`Gpu::sanitizer_report`].
+    ///
+    /// The shadow state is disjoint from the cost meters, so simulated
+    /// timings are bit-identical with the sanitizer on or off.
+    pub fn with_sanitizer(spec: DeviceSpec) -> Self {
+        let mut gpu = Self::new(spec);
+        gpu.enable_sanitizer();
+        gpu
+    }
+
+    /// Enable the sanitizer on an existing device. Buffers that already
+    /// exist are conservatively treated as fully initialised (their history
+    /// was not tracked). Forces `race_check` on: the scattered-output claim
+    /// map doubles as the sanitizer's write shadow.
+    pub fn enable_sanitizer(&mut self) {
+        if self.sanitizer.is_some() {
+            return;
+        }
+        self.race_check = true;
+        let init = self
+            .buffers
+            .iter()
+            .map(|b| InitMask::new_init(b.as_ref().map_or(0, Vec::len)))
+            .collect();
+        self.sanitizer = Some(SanitizerState {
+            init,
+            report: SanitizerReport::default(),
+        });
+    }
+
+    /// True when the dynamic sanitizer is active.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The accumulated sanitizer findings, if the sanitizer is enabled.
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| &s.report)
+    }
+
+    /// Take the accumulated findings, resetting the report (the init shadows
+    /// survive). `None` when the sanitizer is off.
+    pub fn take_sanitizer_report(&mut self) -> Option<SanitizerReport> {
+        self.sanitizer
+            .as_mut()
+            .map(|s| std::mem::take(&mut s.report))
     }
 
     /// The device specification.
@@ -181,6 +258,12 @@ impl<E: Element> Gpu<E> {
         self.allocated_bytes += bytes;
         let id = BufferId(self.buffers.len());
         self.buffers.push(Some(vec![E::default(); len]));
+        if let Some(st) = &mut self.sanitizer {
+            // Although the functional simulator zero-fills, a fresh
+            // allocation is *uninitialised* for initcheck purposes — exactly
+            // `cudaMalloc` semantics.
+            st.init.push(InitMask::new_uninit(len));
+        }
         Ok(id)
     }
 
@@ -191,6 +274,9 @@ impl<E: Element> Gpu<E> {
             .as_mut()
             .expect("freshly allocated")
             .copy_from_slice(data);
+        if let Some(st) = &mut self.sanitizer {
+            st.init[id.0].set_all();
+        }
         Ok(id)
     }
 
@@ -220,6 +306,9 @@ impl<E: Element> Gpu<E> {
             return Err(SimError::InvalidBuffer { id: id.0 });
         }
         buf.copy_from_slice(data);
+        if let Some(st) = &mut self.sanitizer {
+            st.init[id.0].set_all();
+        }
         Ok(())
     }
 
@@ -374,7 +463,15 @@ impl<E: Element> Gpu<E> {
             self.buffers[oid.0] = Some(buf);
         }
 
-        let stats = result?;
+        let (stats, audit) = result?;
+        if let (Some(st), Some(audit)) = (&mut self.sanitizer, audit) {
+            st.report.launches_checked += 1;
+            st.report.hazards.extend(audit.hazards);
+            st.report.dropped += audit.dropped;
+            for (slot, mask) in audit.output_inits {
+                st.init[slot].merge(&mask);
+            }
+        }
         self.elapsed_s += stats.total_time_s();
         self.timeline.push(stats.clone());
         Ok(stats)
@@ -386,7 +483,7 @@ impl<E: Element> Gpu<E> {
         inputs: &[BufferId],
         taken: &mut [(BufferId, OutMode, Vec<E>)],
         kernel: F,
-    ) -> Result<KernelStats, SimError>
+    ) -> Result<(KernelStats, Option<LaunchAudit>), SimError>
     where
         F: Fn(&mut BlockCtx, &mut BlockIo<'_, E>) + Sync,
     {
@@ -395,18 +492,28 @@ impl<E: Element> Gpu<E> {
             .iter()
             .map(|id| self.view(*id))
             .collect::<Result<_, _>>()?;
+        // Init shadows of the input buffers, for the initcheck on loads.
+        let input_masks: Option<Vec<&InitMask>> = self
+            .sanitizer
+            .as_ref()
+            .map(|st| inputs.iter().map(|id| &st.init[id.0]).collect());
+        let smem_elems = cfg.shared_mem_bytes / E::BYTES;
 
         // Partition chunked outputs into per-block slices and build the
         // shared scattered outputs.
         let mut chunk_iters: Vec<(usize, std::slice::ChunksMut<'_, E>)> = Vec::new();
         let mut scattered: Vec<SharedOut<E>> = Vec::new();
+        // Buffer slot + chunk + full length per chunked output, and buffer
+        // slot + length per scattered output, for the sanitizer audit.
+        let mut chunked_meta: Vec<(usize, usize, usize)> = Vec::new();
+        let mut scattered_meta: Vec<(usize, usize)> = Vec::new();
         // Order map so BlockIo presents outputs in caller order.
         enum Slot {
             Chunked,
             Scattered(usize),
         }
         let mut order: Vec<Slot> = Vec::with_capacity(taken.len());
-        for (_, mode, buf) in taken.iter_mut() {
+        for (oid, mode, buf) in taken.iter_mut() {
             match mode {
                 OutMode::Chunked { chunk } => {
                     if *chunk == 0 || buf.len() < *chunk * grid {
@@ -419,10 +526,12 @@ impl<E: Element> Gpu<E> {
                         });
                     }
                     order.push(Slot::Chunked);
+                    chunked_meta.push((oid.0, *chunk, buf.len()));
                     chunk_iters.push((*chunk, buf.chunks_mut(*chunk)));
                 }
                 OutMode::Scattered => {
                     order.push(Slot::Scattered(scattered.len()));
+                    scattered_meta.push((oid.0, buf.len()));
                     scattered.push(SharedOut::new(buf, self.race_check));
                 }
             }
@@ -430,7 +539,7 @@ impl<E: Element> Gpu<E> {
 
         // Assemble per-block owned chunks (sequentially; they are disjoint).
         let mut per_block_owned: Vec<Vec<&mut [E]>> = (0..grid).map(|_| Vec::new()).collect();
-        for (_, iter) in chunk_iters.iter_mut() {
+        for (_, iter) in &mut chunk_iters {
             for (b, chunk) in iter.by_ref().take(grid).enumerate() {
                 per_block_owned[b].push(chunk);
             }
@@ -441,18 +550,31 @@ impl<E: Element> Gpu<E> {
         let order_ref = &order;
         let kernel_ref = &kernel;
         let input_views_ref = &input_views;
+        let input_masks_ref = input_masks.as_deref();
 
-        let per_block_counters: Vec<CostCounters> = per_block_owned
+        let mut per_block: Vec<(CostCounters, Option<BlockShadow>)> = per_block_owned
             .into_par_iter()
             .enumerate()
             .map(move |(b, owned)| {
+                // The shadow cell must be declared before `ctx`/`io` so the
+                // borrows they hold end first.
+                let shadow_cell = input_masks_ref
+                    .is_some()
+                    .then(|| RefCell::new(BlockShadow::new(smem_elems, owned.len())));
                 let mut ctx = BlockCtx::new(b as u32, cfg.block_threads, spec, E::BYTES);
+                if let Some(cell) = &shadow_cell {
+                    ctx.attach_shadow(cell);
+                }
                 // Reorder owned/scattered back into declaration order.
                 let mut owned_iter = owned.into_iter();
                 let mut io = BlockIo {
                     inputs: input_views_ref.clone(),
                     owned: Vec::new(),
                     scattered: Vec::new(),
+                    shadow: match (&shadow_cell, input_masks_ref) {
+                        (Some(cell), Some(input_init)) => Some(ShadowHandle { cell, input_init }),
+                        _ => None,
+                    },
                 };
                 for slot in order_ref {
                     match slot {
@@ -463,12 +585,16 @@ impl<E: Element> Gpu<E> {
                             io.scattered.push(ScatterWriter {
                                 out: &scattered_ref[*j],
                                 block: b as u32,
+                                slot: *j,
+                                shadow: shadow_cell.as_ref(),
                             });
                         }
                     }
                 }
                 kernel_ref(&mut ctx, &mut io);
-                ctx.into_counters()
+                drop(io);
+                let counters = ctx.into_counters();
+                (counters, shadow_cell.map(RefCell::into_inner))
             })
             .collect();
 
@@ -478,7 +604,93 @@ impl<E: Element> Gpu<E> {
             }
         }
 
-        timing::kernel_time(&self.spec, cfg, &per_block_counters)
+        let audit = input_masks.is_some().then(|| {
+            self.build_audit(
+                cfg,
+                &mut per_block,
+                &chunked_meta,
+                &scattered_meta,
+                &scattered,
+            )
+        });
+
+        let counters: Vec<CostCounters> = per_block.into_iter().map(|(c, _)| c).collect();
+        let stats = timing::kernel_time(&self.spec, cfg, &counters)?;
+        Ok((stats, audit))
+    }
+
+    /// Fold the per-block shadows and the scattered-output claim maps into a
+    /// launch audit: finished hazards (kernel label + block attached) plus
+    /// the written-element masks to merge into the global init shadows.
+    fn build_audit(
+        &self,
+        cfg: &LaunchConfig,
+        per_block: &mut [(CostCounters, Option<BlockShadow>)],
+        chunked_meta: &[(usize, usize, usize)],
+        scattered_meta: &[(usize, usize)],
+        scattered: &[SharedOut<E>],
+    ) -> LaunchAudit {
+        let mut hazards = Vec::new();
+        let mut dropped = 0usize;
+        let mut owned_masks: Vec<InitMask> = chunked_meta
+            .iter()
+            .map(|&(_, _, len)| InitMask::new_uninit(len))
+            .collect();
+        for (b, (_, shadow)) in per_block.iter_mut().enumerate() {
+            let Some(shadow) = shadow.take() else {
+                continue;
+            };
+            let (block_hazards, owned_writes, block_dropped) = shadow.into_parts();
+            dropped += block_dropped;
+            for h in block_hazards {
+                hazards.push(Hazard {
+                    kind: h.kind,
+                    kernel: cfg.label.clone(),
+                    block: b as u32,
+                    region: h.region,
+                    index: h.index,
+                    first: h.first,
+                    second: h.second,
+                });
+            }
+            for (o, local) in owned_writes.into_iter().enumerate() {
+                let (_, chunk, _) = chunked_meta[o];
+                let base = b * chunk;
+                match local {
+                    Some(local) => {
+                        for i in 0..chunk {
+                            if local.get(i) {
+                                owned_masks[o].set(base + i);
+                            }
+                        }
+                    }
+                    // No tracked store hit this output: assume an untracked
+                    // kernel wrote its whole chunk. Conservative, but keeps
+                    // kernels that index `io.owned` directly (demos, tests)
+                    // from poisoning later launches with false uninit reads.
+                    None => owned_masks[o].set_range(base, base + chunk),
+                }
+            }
+        }
+        let mut output_inits: Vec<(usize, InitMask)> = chunked_meta
+            .iter()
+            .zip(owned_masks)
+            .map(|(&(slot, _, _), mask)| (slot, mask))
+            .collect();
+        for (j, out) in scattered.iter().enumerate() {
+            let (slot, len) = scattered_meta[j];
+            // `enable_sanitizer` forces race checking on, so the claim map —
+            // which doubles as the write shadow — is always present.
+            let mask = out
+                .written_mask()
+                .unwrap_or_else(|| InitMask::new_init(len));
+            output_inits.push((slot, mask));
+        }
+        LaunchAudit {
+            hazards,
+            dropped,
+            output_inits,
+        }
     }
 }
 

@@ -1,0 +1,412 @@
+//! Static launch-configuration validation: a `compute-sanitizer`-style
+//! *pre-flight* check that inspects a [`LaunchConfig`] against the
+//! **queryable** device properties before any kernel runs.
+//!
+//! The pass mirrors the hard limits enforced at launch time by
+//! [`crate::timing::residency`] — zero-sized grids/blocks, grid and block
+//! caps, shared memory per block, register file pressure — but reports them
+//! as *structured diagnostics* instead of failing the launch, so a plan
+//! builder can validate an entire kernel sequence up front and surface every
+//! problem at once. On top of the hard errors it adds advisory **warnings**:
+//! a block size that is not a multiple of the warp width, an occupancy
+//! estimate below 25 %, and a grid too small to cover every processor.
+//!
+//! Deliberately, only [`QueryableProps`] informs this pass: validation must
+//! work from exactly the information CUDA's `deviceProperties` exposes (the
+//! paper's Table II), preserving the information asymmetry between the
+//! static machine-query tuner and the measuring dynamic tuner.
+
+use crate::device::QueryableProps;
+use crate::launch::LaunchConfig;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagLevel {
+    /// Advisory: the launch will run but may perform poorly.
+    Warning,
+    /// Fatal: the launch cannot execute on this device.
+    Error,
+}
+
+impl std::fmt::Display for DiagLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagLevel::Warning => write!(f, "warning"),
+            DiagLevel::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of the static validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: DiagLevel,
+    /// Stable machine-readable code (e.g. `"smem-exceeded"`).
+    pub code: &'static str,
+    /// Label of the offending kernel launch.
+    pub kernel: String,
+    /// Human-readable explanation with the numbers involved.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.level, self.code, self.kernel, self.message
+        )
+    }
+}
+
+/// The findings of validating one or more launch configurations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// All findings, in the order the configurations were checked.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationReport {
+    /// No findings at all (not even warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any finding is fatal.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.level == DiagLevel::Error)
+    }
+
+    /// The fatal findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == DiagLevel::Error)
+    }
+
+    /// The advisory findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == DiagLevel::Warning)
+    }
+
+    /// Append all findings of `other`.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "launch validation: clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Estimate the occupancy (resident warps over the device's warp capacity)
+/// this configuration achieves on `q`. Returns `None` when the configuration
+/// has a fatal problem that makes the estimate meaningless.
+pub fn occupancy_estimate(q: &QueryableProps, cfg: &LaunchConfig) -> Option<f64> {
+    if cfg.block_threads == 0 || cfg.block_threads > q.max_threads_per_block {
+        return None;
+    }
+    let regs_block = cfg.regs_per_thread * cfg.block_threads;
+    if cfg.shared_mem_bytes > q.shared_mem_per_sm_bytes || regs_block > q.registers_per_sm {
+        return None;
+    }
+    let by_threads = q.max_threads_per_sm / cfg.block_threads;
+    let by_regs = q
+        .registers_per_sm
+        .checked_div(regs_block)
+        .unwrap_or(q.max_blocks_per_sm);
+    let by_shmem = q
+        .shared_mem_per_sm_bytes
+        .checked_div(cfg.shared_mem_bytes)
+        .unwrap_or(q.max_blocks_per_sm);
+    let blocks = q
+        .max_blocks_per_sm
+        .min(by_threads)
+        .min(by_regs)
+        .min(by_shmem);
+    let warps_per_block = cfg.block_threads.div_ceil(q.warp_size);
+    let resident = (blocks * warps_per_block * q.warp_size) as f64;
+    Some(resident / q.max_threads_per_sm as f64)
+}
+
+/// Occupancy below this fraction of the device's warp capacity draws a
+/// `low-occupancy` warning.
+pub const LOW_OCCUPANCY_THRESHOLD: f64 = 0.25;
+
+/// Validate a single launch configuration against queryable device limits.
+pub fn validate_launch(q: &QueryableProps, cfg: &LaunchConfig) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let push = |report: &mut ValidationReport, level, code, message: String| {
+        report.diagnostics.push(Diagnostic {
+            level,
+            code,
+            kernel: cfg.label.clone(),
+            message,
+        });
+    };
+
+    if cfg.grid_blocks == 0 {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "zero-grid",
+            "grid has zero blocks".into(),
+        );
+    }
+    if cfg.block_threads == 0 {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "zero-block",
+            "block has zero threads".into(),
+        );
+    }
+    if cfg.grid_blocks > q.max_grid_blocks {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "grid-too-large",
+            format!(
+                "{} blocks exceeds device limit {}",
+                cfg.grid_blocks, q.max_grid_blocks
+            ),
+        );
+    }
+    if cfg.block_threads > q.max_threads_per_block {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "block-too-large",
+            format!(
+                "{} threads/block exceeds device limit {}",
+                cfg.block_threads, q.max_threads_per_block
+            ),
+        );
+    }
+    if cfg.shared_mem_bytes > q.shared_mem_per_sm_bytes {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "smem-exceeded",
+            format!(
+                "{} shared bytes/block exceeds the {}-byte SM budget",
+                cfg.shared_mem_bytes, q.shared_mem_per_sm_bytes
+            ),
+        );
+    }
+    let regs_block = cfg.regs_per_thread.saturating_mul(cfg.block_threads);
+    if regs_block > q.registers_per_sm {
+        push(
+            &mut report,
+            DiagLevel::Error,
+            "regs-exceeded",
+            format!(
+                "{} regs/thread x {} threads = {} exceeds the {}-register file",
+                cfg.regs_per_thread, cfg.block_threads, regs_block, q.registers_per_sm
+            ),
+        );
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // Advisory checks only make sense for a launch that can run at all.
+    if !cfg.block_threads.is_multiple_of(q.warp_size) {
+        push(
+            &mut report,
+            DiagLevel::Warning,
+            "warp-misaligned",
+            format!(
+                "{} threads/block is not a multiple of the {}-wide warp; \
+                 the last warp runs partially filled",
+                cfg.block_threads, q.warp_size
+            ),
+        );
+    }
+    if let Some(occ) = occupancy_estimate(q, cfg) {
+        if occ < LOW_OCCUPANCY_THRESHOLD {
+            push(
+                &mut report,
+                DiagLevel::Warning,
+                "low-occupancy",
+                format!(
+                    "estimated occupancy {:.0}% is below {:.0}%; \
+                     too few resident warps to hide memory latency",
+                    occ * 100.0,
+                    LOW_OCCUPANCY_THRESHOLD * 100.0
+                ),
+            );
+        }
+    }
+    if cfg.grid_blocks < q.num_processors {
+        push(
+            &mut report,
+            DiagLevel::Warning,
+            "idle-sms",
+            format!(
+                "grid of {} blocks leaves {} of {} processors idle",
+                cfg.grid_blocks,
+                q.num_processors - cfg.grid_blocks,
+                q.num_processors
+            ),
+        );
+    }
+    report
+}
+
+/// Validate a sequence of launches, concatenating the findings.
+pub fn validate_launches(q: &QueryableProps, cfgs: &[LaunchConfig]) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for cfg in cfgs {
+        report.merge(validate_launch(q, cfg));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn q() -> QueryableProps {
+        DeviceSpec::gtx_470().queryable().clone()
+    }
+
+    #[test]
+    fn clean_config_has_no_diagnostics() {
+        let cfg = LaunchConfig::new("k", 2048, 256).with_regs(16);
+        let r = validate_launch(&q(), &cfg);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn zero_grid_and_block_are_errors() {
+        let r = validate_launch(&q(), &LaunchConfig::new("k", 0, 0));
+        assert!(r.has_errors());
+        let codes: Vec<_> = r.errors().map(|d| d.code).collect();
+        assert!(codes.contains(&"zero-grid"));
+        assert!(codes.contains(&"zero-block"));
+    }
+
+    #[test]
+    fn resource_limits_mirror_residency_errors() {
+        let dev = q();
+        let cases = [
+            (
+                LaunchConfig::new("g", dev.max_grid_blocks + 1, 64),
+                "grid-too-large",
+            ),
+            (
+                LaunchConfig::new("t", 1, dev.max_threads_per_block + 1),
+                "block-too-large",
+            ),
+            (
+                LaunchConfig::new("s", 1, 64).with_shared_mem(dev.shared_mem_per_sm_bytes + 1),
+                "smem-exceeded",
+            ),
+            (
+                LaunchConfig::new("r", 1, dev.max_threads_per_block)
+                    .with_regs(dev.registers_per_sm / dev.max_threads_per_block + 1),
+                "regs-exceeded",
+            ),
+        ];
+        for (cfg, code) in cases {
+            let r = validate_launch(&dev, &cfg);
+            assert!(
+                r.errors().any(|d| d.code == code),
+                "expected {code} for {}: {r}",
+                cfg.label
+            );
+            // The launch-time check must agree that this config is fatal.
+            assert!(crate::timing::residency(&DeviceSpec::gtx_470(), &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn diagnostics_carry_kernel_label() {
+        let cfg = LaunchConfig::new("stage1[stride=4]", 0, 64);
+        let r = validate_launch(&q(), &cfg);
+        assert!(r.diagnostics.iter().all(|d| d.kernel == "stage1[stride=4]"));
+    }
+
+    #[test]
+    fn warp_misalignment_is_a_warning() {
+        let cfg = LaunchConfig::new("k", 2048, 100);
+        let r = validate_launch(&q(), &cfg);
+        assert!(!r.has_errors());
+        assert!(r.warnings().any(|d| d.code == "warp-misaligned"));
+    }
+
+    #[test]
+    fn low_occupancy_flagged() {
+        // One 64-thread block per SM at 24 regs: shared memory caps residency.
+        let dev = q();
+        let cfg = LaunchConfig::new("k", 2048, 64)
+            .with_shared_mem(dev.shared_mem_per_sm_bytes)
+            .with_regs(24);
+        let occ = occupancy_estimate(&dev, &cfg).unwrap();
+        assert!(occ < LOW_OCCUPANCY_THRESHOLD, "occ {occ}");
+        let r = validate_launch(&dev, &cfg);
+        assert!(r.warnings().any(|d| d.code == "low-occupancy"));
+    }
+
+    #[test]
+    fn small_grid_warns_about_idle_sms() {
+        let cfg = LaunchConfig::new("k", 2, 256);
+        let r = validate_launch(&q(), &cfg);
+        assert!(r.warnings().any(|d| d.code == "idle-sms"));
+    }
+
+    #[test]
+    fn occupancy_estimate_none_for_fatal_configs() {
+        let dev = q();
+        assert!(occupancy_estimate(&dev, &LaunchConfig::new("k", 1, 0)).is_none());
+        assert!(occupancy_estimate(
+            &dev,
+            &LaunchConfig::new("k", 1, 64).with_shared_mem(dev.shared_mem_per_sm_bytes + 1)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn occupancy_estimate_full_block() {
+        // 256 threads, 16 regs, no smem on the 470: 6 blocks by threads,
+        // 8 by regs, cap 8 -> 6 blocks = 1536 threads = 100%.
+        let occ = occupancy_estimate(&q(), &LaunchConfig::new("k", 64, 256)).unwrap();
+        assert!((occ - 1.0).abs() < 1e-12, "occ {occ}");
+    }
+
+    #[test]
+    fn validate_launches_concatenates() {
+        let dev = q();
+        let cfgs = [
+            LaunchConfig::new("a", 0, 64),
+            LaunchConfig::new("b", 2048, 256),
+            LaunchConfig::new("c", 1, 0),
+        ];
+        let r = validate_launches(&dev, &cfgs);
+        assert_eq!(r.errors().count(), 2);
+    }
+
+    #[test]
+    fn report_display_lists_findings() {
+        let r = validate_launch(&q(), &LaunchConfig::new("k", 0, 64));
+        let s = r.to_string();
+        assert!(s.contains("zero-grid"), "{s}");
+        assert!(ValidationReport::default().to_string().contains("clean"));
+    }
+}

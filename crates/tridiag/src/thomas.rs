@@ -282,7 +282,7 @@ mod tests {
         // each chain solves to its own solution.
         let s0 = poisson(4);
         let mut s1 = poisson(4);
-        for v in s1.d.iter_mut() {
+        for v in &mut s1.d {
             *v *= 2.0;
         }
         let n = 8;

@@ -36,9 +36,7 @@ fn main() {
 
         for (name, p) in [("default", p_def), ("static", p_sta), ("dynamic", p_dyn)] {
             let mut gpu: Gpu<f32> = Gpu::new(device.clone());
-            let ms = measure_solve_time(&mut gpu, &batch, &p)
-                .map(|t| t * 1e3)
-                .unwrap_or(f64::INFINITY);
+            let ms = measure_solve_time(&mut gpu, &batch, &p).map_or(f64::INFINITY, |t| t * 1e3);
             println!(
                 "  {name:<8} S3={:<5} T4={:<4} P1={:<4} {:<10} -> {ms:8.3} ms",
                 p.onchip_size,

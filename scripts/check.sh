@@ -21,4 +21,10 @@ cargo test -q
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "== kernel sanitizer smoke run =="
+cargo run -q --release --bin trisolve -- sanitize --quick
+
 echo "All checks passed."

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         "tune" => cmd_tune(&opts),
         "compare" => cmd_compare(&opts),
+        "sanitize" => cmd_sanitize(&opts),
         "sort" => cmd_sort(&opts),
         "fft" => cmd_fft(&opts),
         "quicksort" => cmd_quicksort(&opts),
@@ -63,6 +64,10 @@ USAGE:
   trisolve tune    --systems M --size N [--device ...] [--cache FILE] [--json]
   trisolve compare --systems M --size N [--seed S] [--json]
                    (all three tuners on all three devices)
+  trisolve sanitize [--quick] [--device 8800|280|470] [--shrink K] [--json]
+                   (injected-hazard fixtures, then every shipping kernel
+                    over the Figure 5-8 matrix under the dynamic sanitizer;
+                    nonzero exit on any hazard or undetected fixture)
   trisolve sort    --len N [--device ...]     (SVI-C merge-sort demo)
   trisolve fft     --len N [--device ...]     (SVI-C four-step FFT demo)
   trisolve quicksort --len N [--device ...]   (SVII multi-stage quicksort demo)
@@ -77,8 +82,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = k.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{k}`"));
         };
-        if key == "json" {
-            map.insert("json".into(), "true".into());
+        if key == "json" || key == "quick" {
+            map.insert(key.to_string(), "true".into());
             continue;
         }
         let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
@@ -95,7 +100,7 @@ fn opt_usize(opts: &Opts, key: &str) -> Result<usize, String> {
 }
 
 fn device(opts: &Opts) -> Result<DeviceSpec, String> {
-    match opts.get("device").map(String::as_str).unwrap_or("470") {
+    match opts.get("device").map_or("470", String::as_str) {
         "8800" | "8800gtx" => Ok(DeviceSpec::geforce_8800_gtx()),
         "280" | "gtx280" => Ok(DeviceSpec::gtx_280()),
         "470" | "gtx470" => Ok(DeviceSpec::gtx_470()),
@@ -109,7 +114,7 @@ fn workload(opts: &Opts, shape: WorkloadShape) -> Result<SystemBatch<f32>, Strin
         .map(|s| s.parse().map_err(|_| "--seed must be a number".to_string()))
         .transpose()?
         .unwrap_or(2011);
-    let kind = opts.get("workload").map(String::as_str).unwrap_or("random");
+    let kind = opts.get("workload").map_or("random", String::as_str);
     let batch = match kind {
         "random" => random_dominant(shape, seed),
         "poisson" => poisson_1d(shape, seed),
@@ -160,7 +165,7 @@ fn pick_params(
     dev: &DeviceSpec,
 ) -> Result<(SolverParams, &'static str, usize), String> {
     let q = dev.queryable();
-    match opts.get("tuner").map(String::as_str).unwrap_or("dynamic") {
+    match opts.get("tuner").map_or("dynamic", String::as_str) {
         "default" => Ok((DefaultTuner.params_for(shape, q, 4), "default", 0)),
         "static" => Ok((StaticTuner.params_for(shape, q, 4), "static", 0)),
         "dynamic" => {
@@ -293,8 +298,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
             let (params, _, _) = pick_params(&o, shape, &dev)?;
             let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
             let ms = trisolve::solver::solver::measure_solve_time(&mut gpu, &batch, &params)
-                .map(|t| t * 1e3)
-                .unwrap_or(f64::INFINITY);
+                .map_or(f64::INFINITY, |t| t * 1e3);
             times.push(ms);
         }
         rows.push((q.name.clone(), times));
@@ -318,6 +322,83 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         for (name, t) in rows {
             println!("{name:<20} {:>10.3} {:>10.3} {:>10.3}", t[0], t[1], t[2]);
         }
+    }
+    Ok(())
+}
+
+fn cmd_sanitize(opts: &Opts) -> Result<(), String> {
+    use trisolve::sanitize;
+
+    let mut sweep_opts = if opts.contains_key("quick") {
+        sanitize::SweepOptions::quick()
+    } else {
+        sanitize::SweepOptions::full()
+    };
+    if opts.contains_key("device") {
+        sweep_opts.devices = vec![device(opts)?];
+    }
+    if opts.contains_key("shrink") {
+        sweep_opts.shrink = opt_usize(opts, "shrink")?.max(1);
+    }
+
+    let fixtures = sanitize::fixture_checks()?;
+    let cases = sanitize::sweep(&sweep_opts)?;
+    let missed: Vec<_> = fixtures.iter().filter(|f| !f.detected).collect();
+    let dirty: Vec<_> = cases.iter().filter(|c| !c.is_clean()).collect();
+    let launches: usize = cases.iter().map(|c| c.launches).sum();
+
+    if json_flag(opts) {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "fixtures": fixtures.iter().map(|f| serde_json::json!({
+                    "name": f.name, "detected": f.detected, "detail": f.detail,
+                })).collect::<Vec<_>>(),
+                "cases": cases.iter().map(|c| serde_json::json!({
+                    "label": c.label,
+                    "launches": c.launches,
+                    "hazards": c.hazards,
+                    "warnings": c.warnings,
+                })).collect::<Vec<_>>(),
+                "launches_checked": launches,
+                "clean": missed.is_empty() && dirty.is_empty(),
+            }))
+            .unwrap()
+        );
+    } else {
+        println!("fixture self-check (each plants one hazard):");
+        for f in &fixtures {
+            let mark = if f.detected { "detected" } else { "MISSED" };
+            println!("  [{mark:^8}] {:<32} {}", f.name, f.detail);
+        }
+        println!(
+            "\nshipping sweep ({} cases, {launches} launches):",
+            cases.len()
+        );
+        for c in &cases {
+            let verdict = if c.is_clean() { "clean" } else { "HAZARDS" };
+            let warn = if c.warnings.is_empty() {
+                String::new()
+            } else {
+                format!("  ({} warnings)", c.warnings.len())
+            };
+            println!(
+                "  [{verdict:^7}] {:<44} {:>3} launches{warn}",
+                c.label, c.launches
+            );
+            for h in &c.hazards {
+                println!("      {h}");
+            }
+        }
+    }
+    if !missed.is_empty() {
+        return Err(format!(
+            "sanitizer failed its self-check: {} fixture(s) undetected",
+            missed.len()
+        ));
+    }
+    if !dirty.is_empty() {
+        return Err(format!("{} shipping case(s) produced hazards", dirty.len()));
     }
     Ok(())
 }

@@ -18,7 +18,9 @@
 //! * [`autotune`] — default / machine-query / self-tuned parameter
 //!   selection, the pruned-search framework, and the tuning cache;
 //! * [`dnc`] — the §VI-C divide-and-conquer generalisation (auto-tuned
-//!   multi-stage merge sort).
+//!   multi-stage merge sort);
+//! * [`sanitize`] — the `trisolve sanitize` harness: injected-hazard
+//!   fixtures plus the shipping-kernel sweep under the dynamic sanitizer.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,8 @@
 //! assert!(residual < 1e-4);
 //! println!("solved in {:.3} simulated ms", outcome.sim_time_ms());
 //! ```
+
+pub mod sanitize;
 
 pub use trisolve_autotune as autotune;
 pub use trisolve_core as solver;
