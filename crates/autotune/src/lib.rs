@@ -35,6 +35,8 @@ pub use auto::{ensure_tuned, solve_auto};
 pub use cache::TuningCache;
 pub use dispatch::{Dispatcher, Engine};
 pub use microbench::Microbench;
-pub use search::{exhaustive_pow2, hill_climb_pow2, SearchStats};
+pub use search::{
+    exhaustive_pow2, exhaustive_pow2_traced, hill_climb_pow2, hill_climb_pow2_traced, SearchStats,
+};
 pub use space::{decoupled_evaluations, joint_evaluations, Pow2Axis};
 pub use tuners::{DefaultTuner, DynamicTuner, StaticTuner, TunedConfig, Tuner, TuningBudget};

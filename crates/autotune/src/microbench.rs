@@ -9,6 +9,7 @@ use trisolve_core::kernels::GpuScalar;
 use trisolve_core::CoreError;
 use trisolve_core::SolverParams;
 use trisolve_gpu_sim::Gpu;
+use trisolve_obs::arg;
 use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 use trisolve_tridiag::SystemBatch;
 
@@ -81,7 +82,40 @@ impl<T: GpuScalar> Microbench<T> {
     ///
     /// Configurations that cannot run (invalid on the device, numerical
     /// breakdown) cost `+inf`, so searches simply step around them.
+    ///
+    /// When the device has a tracer attached, every measurement emits one
+    /// `"tuner"/"eval"` event carrying the candidate's parameters, its
+    /// measured cost (`null` when unrunnable) and a `runnable` flag — the
+    /// raw material for reconstructing the tuner's search tree.
     pub fn measure(
+        &mut self,
+        gpu: &mut Gpu<T>,
+        shape: WorkloadShape,
+        params: &SolverParams,
+    ) -> f64 {
+        let tracer = gpu.tracer().clone();
+        let cost = self.measure_inner(gpu, shape, params);
+        if tracer.is_enabled() {
+            tracer.instant_now(
+                "tuner",
+                "eval",
+                vec![
+                    arg("systems", shape.num_systems),
+                    arg("size", shape.system_size),
+                    arg("stage1_target", params.stage1_target_systems),
+                    arg("onchip_size", params.onchip_size),
+                    arg("thomas_switch", params.thomas_switch),
+                    arg("variant", format!("{:?}", params.variant)),
+                    arg("cost_s", cost),
+                    arg("runnable", cost.is_finite()),
+                ],
+            );
+            tracer.counter_add("tuner_evals", 1);
+        }
+        cost
+    }
+
+    fn measure_inner(
         &mut self,
         gpu: &mut Gpu<T>,
         shape: WorkloadShape,

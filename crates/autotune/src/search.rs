@@ -4,6 +4,7 @@
 
 use crate::space::Pow2Axis;
 use std::collections::HashMap;
+use trisolve_obs::{arg, Tracer};
 
 /// Bookkeeping from one search run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,7 +33,25 @@ pub struct SearchStats {
 /// assert_eq!(c, 0.0);
 /// assert!(stats.evaluations <= axis.len()); // pruned vs exhaustive
 /// ```
-pub fn hill_climb_pow2<F>(axis: Pow2Axis, start: usize, mut eval: F) -> (usize, f64, SearchStats)
+pub fn hill_climb_pow2<F>(axis: Pow2Axis, start: usize, eval: F) -> (usize, f64, SearchStats)
+where
+    F: FnMut(usize) -> f64,
+{
+    hill_climb_pow2_traced(axis, start, &Tracer::disabled(), eval)
+}
+
+/// [`hill_climb_pow2`] with search telemetry: each distinct probe, each
+/// accepted move, and the final selection emit a `"tuner"` trace event
+/// (`probe` / `move` / `select`) carrying the axis name, value and cost —
+/// so the full search trajectory, including the neighbours probed and
+/// pruned, is reconstructible from the trace. With a disabled tracer this
+/// is exactly [`hill_climb_pow2`].
+pub fn hill_climb_pow2_traced<F>(
+    axis: Pow2Axis,
+    start: usize,
+    tracer: &Tracer,
+    mut eval: F,
+) -> (usize, f64, SearchStats)
 where
     F: FnMut(usize) -> f64,
 {
@@ -45,6 +64,13 @@ where
         stats.evaluations += 1;
         let c = eval(v);
         memo.insert(v, c);
+        if tracer.is_enabled() {
+            tracer.instant_now(
+                "tuner",
+                "probe",
+                vec![arg("axis", axis.name), arg("value", v), arg("cost_s", c)],
+            );
+        }
         c
     };
 
@@ -60,18 +86,59 @@ where
         }
         match best_neighbor {
             Some((n, c)) => {
+                if tracer.is_enabled() {
+                    tracer.instant_now(
+                        "tuner",
+                        "move",
+                        vec![
+                            arg("axis", axis.name),
+                            arg("from", cur),
+                            arg("to", n),
+                            arg("cost_s", c),
+                        ],
+                    );
+                }
                 cur = n;
                 cur_cost = c;
                 stats.moves += 1;
             }
-            None => return (cur, cur_cost, stats),
+            None => {
+                if tracer.is_enabled() {
+                    tracer.instant_now(
+                        "tuner",
+                        "select",
+                        vec![
+                            arg("axis", axis.name),
+                            arg("value", cur),
+                            arg("cost_s", cur_cost),
+                            arg("evaluations", stats.evaluations),
+                            arg("moves", stats.moves),
+                        ],
+                    );
+                }
+                return (cur, cur_cost, stats);
+            }
         }
     }
 }
 
 /// Exhaustive search over a power-of-two axis (for optimality-gap
 /// comparisons and small spaces like the variant choice).
-pub fn exhaustive_pow2<F>(axis: Pow2Axis, mut eval: F) -> (usize, f64, SearchStats)
+pub fn exhaustive_pow2<F>(axis: Pow2Axis, eval: F) -> (usize, f64, SearchStats)
+where
+    F: FnMut(usize) -> f64,
+{
+    exhaustive_pow2_traced(axis, &Tracer::disabled(), eval)
+}
+
+/// [`exhaustive_pow2`] with the same search telemetry as
+/// [`hill_climb_pow2_traced`]: one `probe` event per value visited plus a
+/// final `select` event.
+pub fn exhaustive_pow2_traced<F>(
+    axis: Pow2Axis,
+    tracer: &Tracer,
+    mut eval: F,
+) -> (usize, f64, SearchStats)
 where
     F: FnMut(usize) -> f64,
 {
@@ -80,9 +147,29 @@ where
     for v in axis.values() {
         let c = eval(v);
         stats.evaluations += 1;
+        if tracer.is_enabled() {
+            tracer.instant_now(
+                "tuner",
+                "probe",
+                vec![arg("axis", axis.name), arg("value", v), arg("cost_s", c)],
+            );
+        }
         if c < best.1 {
             best = (v, c);
         }
+    }
+    if tracer.is_enabled() {
+        tracer.instant_now(
+            "tuner",
+            "select",
+            vec![
+                arg("axis", axis.name),
+                arg("value", best.0),
+                arg("cost_s", best.1),
+                arg("evaluations", stats.evaluations),
+                arg("moves", stats.moves),
+            ],
+        );
     }
     (best.0, best.1, stats)
 }

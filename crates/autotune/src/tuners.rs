@@ -2,13 +2,14 @@
 //! (static) and self-tuned (dynamic).
 
 use crate::microbench::Microbench;
-use crate::search::{hill_climb_pow2, SearchStats};
+use crate::search::{hill_climb_pow2_traced, SearchStats};
 use crate::space::Pow2Axis;
 use serde::{Deserialize, Serialize};
 use trisolve_core::kernels::{elem_bytes, GpuScalar};
 use trisolve_core::params::prev_power_of_two;
 use trisolve_core::{BaseVariant, SolverParams};
 use trisolve_gpu_sim::{Gpu, QueryableProps};
+use trisolve_obs::arg;
 use trisolve_tridiag::workloads::WorkloadShape;
 
 /// A parameter-selection strategy: given a workload and the *queryable*
@@ -238,6 +239,7 @@ impl DynamicTuner {
     ) -> TunedConfig {
         let q = gpu.spec().queryable().clone();
         let eb = elem_bytes::<T>();
+        let tracer = gpu.tracer().clone();
         let evaluations_before = mb.measurements;
 
         let static_guess = StaticTuner.params_for(shape, &q, eb);
@@ -246,28 +248,30 @@ impl DynamicTuner {
 
         let mut p1 = static_guess.stage1_target_systems;
         let mut best_t4 = std::collections::HashMap::new();
-        let (onchip, _, _) = hill_climb_pow2(onchip_axis, static_guess.onchip_size, |s3| {
-            let t4_axis = Pow2Axis::new("thomas_switch", 8.min(s3), s3);
-            let (t4, cost, _) = hill_climb_pow2(t4_axis, StaticTuner::thomas_guess(&q), |t4| {
-                [BaseVariant::Strided, BaseVariant::Coalesced]
-                    .into_iter()
-                    .map(|variant| {
-                        mb.measure(
-                            &mut *gpu,
-                            shape,
-                            &SolverParams {
-                                stage1_target_systems: p1,
-                                onchip_size: s3,
-                                thomas_switch: t4,
-                                variant,
-                            },
-                        )
-                    })
-                    .fold(f64::INFINITY, f64::min)
+        let (onchip, _, _) =
+            hill_climb_pow2_traced(onchip_axis, static_guess.onchip_size, &tracer, |s3| {
+                let t4_axis = Pow2Axis::new("thomas_switch", 8.min(s3), s3);
+                let (t4, cost, _) =
+                    hill_climb_pow2_traced(t4_axis, StaticTuner::thomas_guess(&q), &tracer, |t4| {
+                        [BaseVariant::Strided, BaseVariant::Coalesced]
+                            .into_iter()
+                            .map(|variant| {
+                                mb.measure(
+                                    &mut *gpu,
+                                    shape,
+                                    &SolverParams {
+                                        stage1_target_systems: p1,
+                                        onchip_size: s3,
+                                        thomas_switch: t4,
+                                        variant,
+                                    },
+                                )
+                            })
+                            .fold(f64::INFINITY, f64::min)
+                    });
+                best_t4.insert(s3, t4);
+                cost
             });
-            best_t4.insert(s3, t4);
-            cost
-        });
         let thomas_switch = best_t4[&onchip];
 
         // Resolve the winning variant at the chosen switch points.
@@ -295,7 +299,7 @@ impl DynamicTuner {
         if shape.num_systems < static_guess.stage1_target_systems {
             let p1_axis =
                 Pow2Axis::new("stage1_target", 1, 4 * q.num_processors.next_power_of_two());
-            let (best_p1, _, _) = hill_climb_pow2(p1_axis, p1, |cand| {
+            let (best_p1, _, _) = hill_climb_pow2_traced(p1_axis, p1, &tracer, |cand| {
                 mb.measure(
                     &mut *gpu,
                     shape,
@@ -323,8 +327,27 @@ impl DynamicTuner {
             elem_bytes: eb,
             evaluations: mb.measurements - evaluations_before,
         };
+        self.trace_tuned(&tracer, &config);
         self.config = Some(config.clone());
         config
+    }
+
+    /// Emit the final `"tuner"/"tuned"` event summarising a tuning run.
+    fn trace_tuned(&self, tracer: &trisolve_obs::Tracer, config: &TunedConfig) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.instant_now(
+            "tuner",
+            "tuned",
+            vec![
+                arg("onchip_size", config.onchip_size),
+                arg("thomas_switch", config.thomas_switch),
+                arg("strided_from_stride", config.strided_from_stride),
+                arg("stage1_target", config.stage1_target_systems),
+                arg("evaluations", config.evaluations),
+            ],
+        );
     }
 
     /// Run the §IV-D tuning procedure on a device. Takes well under a
@@ -333,6 +356,7 @@ impl DynamicTuner {
     pub fn tune<T: GpuScalar>(&mut self, gpu: &mut Gpu<T>, budget: TuningBudget) -> TunedConfig {
         let q = gpu.spec().queryable().clone();
         let eb = elem_bytes::<T>();
+        let tracer = gpu.tracer().clone();
         let mut mb: Microbench<T> = Microbench::new();
 
         let max_onchip = SolverParams::max_onchip_size(&q, eb);
@@ -347,32 +371,33 @@ impl DynamicTuner {
         );
         let mut best_t4_for_onchip = std::collections::HashMap::new();
         let mut phase_a_stats = SearchStats::default();
-        let (onchip, _, stats) = hill_climb_pow2(onchip_axis, static_guess.onchip_size, |s3| {
-            // For each candidate on-chip size, tune the Thomas switch from
-            // the static guess and take the better variant.
-            let t4_axis = Pow2Axis::new("thomas_switch", 8.min(s3), s3);
-            let (t4, cost, t4_stats) =
-                hill_climb_pow2(t4_axis, StaticTuner::thomas_guess(&q), |t4| {
-                    [BaseVariant::Strided, BaseVariant::Coalesced]
-                        .into_iter()
-                        .map(|variant| {
-                            mb.measure(
-                                &mut *gpu,
-                                fill_shape,
-                                &SolverParams {
-                                    stage1_target_systems: static_guess.stage1_target_systems,
-                                    onchip_size: s3,
-                                    thomas_switch: t4,
-                                    variant,
-                                },
-                            )
-                        })
-                        .fold(f64::INFINITY, f64::min)
-                });
-            phase_a_stats.evaluations += t4_stats.evaluations;
-            best_t4_for_onchip.insert(s3, t4);
-            cost
-        });
+        let (onchip, _, stats) =
+            hill_climb_pow2_traced(onchip_axis, static_guess.onchip_size, &tracer, |s3| {
+                // For each candidate on-chip size, tune the Thomas switch
+                // from the static guess and take the better variant.
+                let t4_axis = Pow2Axis::new("thomas_switch", 8.min(s3), s3);
+                let (t4, cost, t4_stats) =
+                    hill_climb_pow2_traced(t4_axis, StaticTuner::thomas_guess(&q), &tracer, |t4| {
+                        [BaseVariant::Strided, BaseVariant::Coalesced]
+                            .into_iter()
+                            .map(|variant| {
+                                mb.measure(
+                                    &mut *gpu,
+                                    fill_shape,
+                                    &SolverParams {
+                                        stage1_target_systems: static_guess.stage1_target_systems,
+                                        onchip_size: s3,
+                                        thomas_switch: t4,
+                                        variant,
+                                    },
+                                )
+                            })
+                            .fold(f64::INFINITY, f64::min)
+                    });
+                phase_a_stats.evaluations += t4_stats.evaluations;
+                best_t4_for_onchip.insert(s3, t4);
+                cost
+            });
         let thomas_switch = best_t4_for_onchip[&onchip];
         let _ = stats;
 
@@ -412,7 +437,7 @@ impl DynamicTuner {
         let huge = WorkloadShape::new(1, budget.huge_system_size);
         let p1_axis = Pow2Axis::new("stage1_target", 1, 4 * q.num_processors.next_power_of_two());
         let (stage1_target, _, p1_stats) =
-            hill_climb_pow2(p1_axis, StaticTuner::stage1_guess(&q), |p1| {
+            hill_climb_pow2_traced(p1_axis, StaticTuner::stage1_guess(&q), &tracer, |p1| {
                 mb.measure(
                     &mut *gpu,
                     huge,
@@ -438,6 +463,7 @@ impl DynamicTuner {
             evaluations: mb.measurements,
         };
         let _ = (phase_a_stats, phase_b_evals, p1_stats);
+        self.trace_tuned(&tracer, &config);
         self.config = Some(config.clone());
         config
     }

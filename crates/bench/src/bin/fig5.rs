@@ -2,13 +2,17 @@
 //! stage 2 (global splitting) to stage 3 (solving in shared memory),
 //! normalised to the best switch point, per device.
 //!
-//! `cargo run --release -p trisolve-bench --bin fig5 [-- --quick]`
+//! `cargo run --release -p trisolve-bench --bin fig5 [-- --quick] [-- --trace]`
+//!
+//! `--trace` additionally writes a Chrome trace of the GTX 470 best-point
+//! solve to `target/fig5_trace.json`.
 
 use trisolve_bench::{experiments, report};
 use trisolve_gpu_sim::DeviceSpec;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let (m, n) = if quick { (256, 1024) } else { (1024, 1024) };
     println!("Figure 5 reproduction: {m} systems x {n} equations, f32\n");
 
@@ -56,6 +60,11 @@ fn main() {
                 "timeline-json {}\n",
                 serde_json::to_string(&tl).expect("timeline serialises")
             );
+        }
+        if trace && dev.name().contains("470") {
+            if let Some(json) = experiments::traced_chrome_trace(&dev, &batch, &params) {
+                report::write_trace_file("fig5", &json);
+            }
         }
     }
 

@@ -2,13 +2,17 @@
 //! various stage-3→4 switch points (number of subsystems handed to the
 //! Thomas phase), normalised to the best, per device.
 //!
-//! `cargo run --release -p trisolve-bench --bin fig6 [-- --quick]`
+//! `cargo run --release -p trisolve-bench --bin fig6 [-- --quick] [-- --trace]`
+//!
+//! `--trace` additionally writes a Chrome trace of the GTX 470 best-point
+//! solve to `target/fig6_trace.json`.
 
 use trisolve_bench::{experiments, report};
 use trisolve_gpu_sim::DeviceSpec;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let spm = if quick { 8 } else { 32 };
     println!("Figure 6 reproduction: machine-filling on-chip batch ({spm} systems/SM), f32\n");
 
@@ -58,6 +62,11 @@ fn main() {
                 "timeline-json {}\n",
                 serde_json::to_string(&tl).expect("timeline serialises")
             );
+        }
+        if trace && dev.name().contains("470") {
+            if let Some(json) = experiments::traced_chrome_trace(&dev, &batch, &params) {
+                report::write_trace_file("fig6", &json);
+            }
         }
     }
 

@@ -3,13 +3,17 @@
 //! on all three devices, normalised to the untuned time, with the untuned
 //! milliseconds printed like the numbers above the paper's bars.
 //!
-//! `cargo run --release -p trisolve-bench --bin fig7 [-- --quick]`
+//! `cargo run --release -p trisolve-bench --bin fig7 [-- --quick] [-- --trace]`
+//!
+//! `--trace` additionally writes a Chrome trace of the statically tuned
+//! GTX 470 solve of the first grid workload to `target/fig7_trace.json`.
 
 use trisolve_bench::{experiments, report};
 use trisolve_gpu_sim::DeviceSpec;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let shrink = if quick { 4 } else { 1 };
     let grid = experiments::paper_grid(shrink);
     println!(
@@ -63,6 +67,21 @@ fn main() {
         }
     }
     println!();
+
+    if trace {
+        use trisolve_autotune::{StaticTuner, Tuner};
+        let dev = DeviceSpec::gtx_470();
+        let shape = grid[0];
+        let batch = trisolve_tridiag::workloads::random_dominant::<f32>(
+            shape,
+            experiments::EXPERIMENT_SEED,
+        )
+        .unwrap();
+        let params = StaticTuner.params_for(shape, dev.queryable(), 4);
+        if let Some(json) = experiments::traced_chrome_trace(&dev, &batch, &params) {
+            report::write_trace_file("fig7", &json);
+        }
+    }
 
     let s = experiments::fig7_summary(&all);
     println!("== headline numbers (paper §V) ==");

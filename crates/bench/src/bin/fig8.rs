@@ -2,7 +2,10 @@
 //! Intel MKL tridiagonal solver on a dual-core 3.4 GHz Core i5, over the
 //! workload grid — including the 1×2M case where the CPU wins.
 //!
-//! `cargo run --release -p trisolve-bench --bin fig8 [-- --quick]`
+//! `cargo run --release -p trisolve-bench --bin fig8 [-- --quick] [-- --trace]`
+//!
+//! `--trace` additionally writes a Chrome trace of the statically tuned
+//! GTX 470 solve of the first grid workload to `target/fig8_trace.json`.
 
 use trisolve_bench::{experiments, report};
 
@@ -16,6 +19,7 @@ const PAPER: [(&str, f64, f64, &str); 4] = [
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let shrink = if quick { 4 } else { 1 };
     let grid = experiments::paper_grid(shrink);
     println!("Figure 8 reproduction: GTX 470 (dynamically tuned) vs Core i5 MKL model, f32\n");
@@ -53,6 +57,21 @@ fn main() {
         }
     }
     println!();
+
+    if trace {
+        use trisolve_autotune::{StaticTuner, Tuner};
+        let dev = trisolve_gpu_sim::DeviceSpec::gtx_470();
+        let shape = grid[0];
+        let batch = trisolve_tridiag::workloads::random_dominant::<f32>(
+            shape,
+            experiments::EXPERIMENT_SEED,
+        )
+        .unwrap();
+        let params = StaticTuner.params_for(shape, dev.queryable(), 4);
+        if let Some(json) = experiments::traced_chrome_trace(&dev, &batch, &params) {
+            report::write_trace_file("fig8", &json);
+        }
+    }
 
     if shrink == 1 {
         println!("paper values for comparison:");

@@ -2,7 +2,10 @@
 //! the calibration work. Prints every kernel launch with its simulated
 //! time, limiter and residency.
 //!
-//! `cargo run --release -p trisolve-bench --bin profile -- [m] [n]`
+//! `cargo run --release -p trisolve-bench --bin profile -- [m] [n] [--trace]`
+//!
+//! `--trace` additionally writes a Chrome trace of the tuned GTX 470
+//! solve to `target/profile_trace.json`.
 
 use trisolve_autotune::{DynamicTuner, Tuner};
 use trisolve_bench::{experiments, report};
@@ -12,6 +15,7 @@ use trisolve_tridiag::workloads::{random_dominant, WorkloadShape};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let trace = args.iter().any(|a| a == "--trace");
     let m: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let n: usize = args
         .get(2)
@@ -70,5 +74,11 @@ fn main() {
             "timeline-json {}",
             serde_json::to_string(&timeline).expect("timeline serialises")
         );
+
+        if trace && device.name().contains("470") {
+            if let Some(json) = experiments::traced_chrome_trace(&device, &batch, &params) {
+                report::write_trace_file("profile", &json);
+            }
+        }
     }
 }

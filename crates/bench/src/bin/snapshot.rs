@@ -1,0 +1,106 @@
+//! Machine-readable benchmark snapshot: per-device, per-workload solve
+//! costs for all three tuners, plus tuner-evaluation counts and the
+//! trace-derived launch/byte counters of the tuned solve.
+//!
+//! Prints one JSON document to stdout; `scripts/bench_snapshot.sh` wraps
+//! this into numbered `BENCH_<n>.json` files for regression comparison.
+//! Deterministic: fixed [`experiments::EXPERIMENT_SEED`], simulated clock.
+//!
+//! `cargo run --release -p trisolve-bench --bin snapshot [-- --quick]`
+
+use trisolve_autotune::{DefaultTuner, DynamicTuner, StaticTuner, Tuner};
+use trisolve_bench::experiments;
+use trisolve_core::engine::{Backend, GpuBackend};
+use trisolve_gpu_sim::{DeviceSpec, Gpu};
+use trisolve_obs::Tracer;
+use trisolve_tridiag::workloads::random_dominant;
+use trisolve_tridiag::SystemBatch;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let shrink = if quick { 4 } else { 1 };
+    let grid = experiments::paper_grid(shrink);
+
+    let mut devices = Vec::new();
+    for dev in DeviceSpec::paper_devices() {
+        let q = dev.queryable().clone();
+        let mut workloads = Vec::new();
+        for &shape in &grid {
+            let batch: SystemBatch<f32> =
+                random_dominant(shape, experiments::EXPERIMENT_SEED).unwrap();
+
+            let clamp = |t: &dyn Tuner| {
+                let p = t.params_for(shape, &q, 4);
+                trisolve_autotune::tuners::clamp_to_device(p, &q, 4)
+            };
+            let untuned_ms = experiments::solve_ms(&dev, &batch, &clamp(&DefaultTuner));
+            let static_ms = experiments::solve_ms(&dev, &batch, &clamp(&StaticTuner));
+
+            // The dynamic path runs traced end to end — tuning and the
+            // tuned solve on the same gpu — so the snapshot can report
+            // the search cost and the solve's launch/byte counters
+            // straight from the trace.
+            let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+            gpu.set_tracer(Tracer::enabled());
+            let mut tuner = DynamicTuner::new();
+            let cfg = tuner.tune_for(&mut gpu, shape);
+            let params = clamp(&tuner);
+            let solve_begin_us = gpu.tracer().clock_us();
+            let dynamic_ms = {
+                let mut backend = GpuBackend::new(&mut gpu);
+                match backend.prepare(shape, &params) {
+                    Ok(mut session) => backend
+                        .solve(&mut session, &batch, &params)
+                        .map_or(f64::INFINITY, |o| o.sim_time_ms()),
+                    Err(_) => f64::INFINITY,
+                }
+            };
+            let counter = |name: &str| {
+                gpu.tracer()
+                    .counters()
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map_or(0, |(_, v)| *v)
+            };
+            // Launches after `solve_begin_us` belong to the tuned solve;
+            // everything before is the tuner's micro-benchmarks.
+            let solve_launches = gpu
+                .tracer()
+                .events()
+                .iter()
+                .filter(|e| {
+                    e.cat == "gpu"
+                        && e.phase == trisolve_obs::Phase::Span
+                        && e.ts_us >= solve_begin_us
+                })
+                .count();
+
+            workloads.push(serde_json::json!({
+                "workload": shape.label(),
+                "systems": shape.num_systems,
+                "size": shape.system_size,
+                "untuned_ms": untuned_ms,
+                "static_ms": static_ms,
+                "dynamic_ms": dynamic_ms,
+                "tuner_evaluations": cfg.evaluations,
+                "traced_tuner_evals": counter("tuner_evals"),
+                "solve_launches": solve_launches,
+                "total_launches": counter("launches"),
+                "gmem_payload_bytes": counter("gmem_payload_bytes"),
+            }));
+        }
+        devices.push(serde_json::json!({
+            "device": q.name,
+            "workloads": workloads,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "snapshot": "trisolve-bench",
+        "seed": experiments::EXPERIMENT_SEED,
+        "quick": quick,
+        "precision": "f32",
+        "devices": devices,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

@@ -54,6 +54,29 @@ pub fn stage_timeline<T: GpuScalar>(
     solve_outcome(device, batch, params).map(|o| StageTimeline::from_outcome(&o))
 }
 
+/// Chrome trace-event JSON of one traced solve on one device (`None` if
+/// the configuration cannot run) — the `--trace` flag of the figure
+/// binaries. Loads in Perfetto / `chrome://tracing`.
+pub fn traced_chrome_trace<T: GpuScalar>(
+    device: &DeviceSpec,
+    batch: &SystemBatch<T>,
+    params: &SolverParams,
+) -> Option<String> {
+    let mut gpu: Gpu<T> = Gpu::new(device.clone());
+    gpu.set_tracer(trisolve_obs::Tracer::enabled());
+    let shape = WorkloadShape::new(batch.num_systems, batch.system_size);
+    {
+        let mut backend = GpuBackend::new(&mut gpu);
+        let mut session = backend.prepare(shape, params).ok()?;
+        backend.solve(&mut session, batch, params).ok()?;
+    }
+    let tracer = gpu.tracer();
+    Some(trisolve_obs::chrome_trace(
+        &tracer.events(),
+        &tracer.counters(),
+    ))
+}
+
 // ---------------------------------------------------------------------------
 // Figure 5: stage-2 -> stage-3 switch point sweep
 // ---------------------------------------------------------------------------

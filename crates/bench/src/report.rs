@@ -69,6 +69,17 @@ pub fn compare_line(metric: &str, paper: &str, measured: &str) -> String {
     format!("{metric:<44} paper: {paper:<12} measured: {measured}")
 }
 
+/// Write a figure binary's `--trace` output to `target/<bin>_trace.json`
+/// and print where it went. Best-effort: a failed write is reported on
+/// stderr but never aborts the benchmark run.
+pub fn write_trace_file(bin: &str, json: &str) {
+    let path = format!("target/{bin}_trace.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("trace written to {path} (load in Perfetto / chrome://tracing)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use trisolve_gpu_sim::{
     CpuSpec, DeviceBuffer, DeviceSpec, Gpu, KernelStats, QueryableProps, ValidationReport,
 };
+use trisolve_obs::{arg, Phase, TraceEvent};
 use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
 use trisolve_tridiag::workloads::WorkloadShape;
 use trisolve_tridiag::{Scalar, SystemBatch};
@@ -119,6 +120,59 @@ impl StageTimeline {
         Self::from_stats(&outcome.kernel_stats)
     }
 
+    /// Rebuild the timeline from a recorded trace: per-launch `"gpu"` spans
+    /// carry exactly the fields [`StageTimeline::from_stats`] aggregates
+    /// (`exec_s`, `overhead_s`, `gmem_payload_bytes`, `warps_per_sm`), so
+    /// when tracing is enabled the timeline is a projection of the trace
+    /// rather than a parallel bookkeeping path. Over the same launch
+    /// sequence the two constructors agree entry-for-entry, bit-for-bit —
+    /// asserted by this crate's regression tests.
+    pub fn from_trace(events: &[TraceEvent]) -> Self {
+        let mut stages: Vec<StageTimelineEntry> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut total_ms = 0.0;
+        let mut launches = 0;
+        for ev in events {
+            if ev.cat != "gpu" || ev.phase != Phase::Span {
+                continue;
+            }
+            launches += 1;
+            let family = ev.family().to_string();
+            let i = *index.entry(family.clone()).or_insert_with(|| {
+                stages.push(StageTimelineEntry {
+                    stage: family,
+                    launches: 0,
+                    sim_time_ms: 0.0,
+                    exec_time_ms: 0.0,
+                    overhead_ms: 0.0,
+                    gmem_payload_mib: 0.0,
+                    mean_warps_per_sm: 0.0,
+                });
+                stages.len() - 1
+            });
+            let exec_s = ev.arg_f64("exec_s").unwrap_or(0.0);
+            let overhead_s = ev.arg_f64("overhead_s").unwrap_or(0.0);
+            let sim_ms = (exec_s + overhead_s) * 1e3;
+            let e = &mut stages[i];
+            e.launches += 1;
+            e.sim_time_ms += sim_ms;
+            e.exec_time_ms += exec_s * 1e3;
+            e.overhead_ms += overhead_s * 1e3;
+            e.gmem_payload_mib +=
+                ev.arg_f64("gmem_payload_bytes").unwrap_or(0.0) / (1024.0 * 1024.0);
+            e.mean_warps_per_sm += ev.arg_f64("warps_per_sm").unwrap_or(0.0);
+            total_ms += sim_ms;
+        }
+        for e in &mut stages {
+            e.mean_warps_per_sm /= e.launches as f64;
+        }
+        Self {
+            total_ms,
+            launches,
+            stages,
+        }
+    }
+
     /// Fixed-width table rendering, one row per stage.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -201,6 +255,17 @@ impl<T: GpuScalar> SolveSession<T> {
         let src = alloc4(gpu)?;
         let dst = alloc4(gpu)?;
         let x = gpu.alloc_guarded(total)?;
+        if gpu.tracer().is_enabled() {
+            gpu.tracer().instant_now(
+                "engine",
+                "session",
+                vec![
+                    arg("systems", shape.num_systems),
+                    arg("size", shape.system_size),
+                    arg("padded_size", padded_size),
+                ],
+            );
+        }
         Ok(Self {
             shape,
             padded_size,
@@ -330,8 +395,11 @@ impl<T: GpuScalar> SolveSession<T> {
         ];
         let x = self.x.id();
 
+        let tracer = gpu.tracer().clone();
         let launches_before = gpu.timeline().len();
         for op in &plan.ops {
+            let stage_begin_s = gpu.elapsed_s();
+            let stage_launches = gpu.timeline().len();
             match *op {
                 StageOp::Stage1Split { stride, .. } => {
                     stage1_step(gpu, cur, alt, m, np, stride)?;
@@ -363,6 +431,20 @@ impl<T: GpuScalar> SolveSession<T> {
                     )?;
                 }
             }
+            if tracer.is_enabled() {
+                let stage = match *op {
+                    StageOp::Stage1Split { .. } => "stage1",
+                    StageOp::Stage2Split { .. } => "stage2",
+                    StageOp::BaseSolve { .. } => "base",
+                };
+                tracer.span(
+                    "engine",
+                    stage,
+                    stage_begin_s * 1e6,
+                    (gpu.elapsed_s() - stage_begin_s) * 1e6,
+                    vec![arg("launches", gpu.timeline().len() - stage_launches)],
+                );
+            }
         }
         let kernel_stats = gpu.timeline()[launches_before..].to_vec();
         // Left-fold over the launches in order: exactly what a fresh
@@ -385,8 +467,10 @@ impl<T: GpuScalar> SolveSession<T> {
     ) -> Result<SolveOutcome<T>> {
         self.check_batch(batch)?;
         let plan = self.plan_for(params)?.clone();
+        let solve_begin_s = gpu.elapsed_s();
         self.upload_coefficients(gpu, batch)?;
         let (sim_time_s, kernel_stats) = self.execute(gpu, &plan)?;
+        self.trace_solve_span(gpu, "solve", params, solve_begin_s, kernel_stats.len());
 
         let m = self.shape.num_systems;
         let n = self.shape.system_size;
@@ -416,9 +500,43 @@ impl<T: GpuScalar> SolveSession<T> {
     ) -> Result<f64> {
         self.check_batch(batch)?;
         let plan = self.plan_for(params)?.clone();
+        let solve_begin_s = gpu.elapsed_s();
         self.upload_coefficients(gpu, batch)?;
-        let (sim_time_s, _) = self.execute(gpu, &plan)?;
+        let (sim_time_s, kernel_stats) = self.execute(gpu, &plan)?;
+        self.trace_solve_span(gpu, "measure", params, solve_begin_s, kernel_stats.len());
         Ok(sim_time_s)
+    }
+
+    /// Emit the outer solve/measure span covering upload through the last
+    /// stage. No-op when the device has no tracer attached.
+    fn trace_solve_span(
+        &self,
+        gpu: &Gpu<T>,
+        name: &'static str,
+        params: &SolverParams,
+        begin_s: f64,
+        launches: usize,
+    ) {
+        let tracer = gpu.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.span(
+            "engine",
+            name,
+            begin_s * 1e6,
+            (gpu.elapsed_s() - begin_s) * 1e6,
+            vec![
+                arg("systems", self.shape.num_systems),
+                arg("size", self.shape.system_size),
+                arg("padded_size", self.padded_size),
+                arg("stage1_target", params.stage1_target_systems),
+                arg("onchip_size", params.onchip_size),
+                arg("thomas_switch", params.thomas_switch),
+                arg("variant", format!("{:?}", params.variant)),
+                arg("launches", launches),
+            ],
+        );
     }
 }
 
@@ -666,6 +784,62 @@ mod tests {
             thomas_switch: t4,
             variant: BaseVariant::Strided,
         }
+    }
+
+    #[test]
+    fn stage_timeline_from_trace_agrees_with_from_outcome() {
+        // A fig5-style batch (many small systems: stage2 + base) and a
+        // full-pipeline workload (stage1 + stage2 + base).
+        for shape in [WorkloadShape::new(1024, 1024), WorkloadShape::new(4, 8192)] {
+            let p = params(16, 512, 64);
+            let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+            let tracer = trisolve_obs::Tracer::enabled();
+            gpu.set_tracer(tracer.clone());
+            let batch = random_dominant::<f32>(shape, 7).unwrap();
+            let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+            let outcome = session.solve(&mut gpu, &batch, &p).unwrap();
+
+            let from_outcome = StageTimeline::from_outcome(&outcome);
+            let from_trace = StageTimeline::from_trace(&tracer.events());
+            assert_eq!(from_outcome.launches, from_trace.launches);
+            assert_eq!(
+                from_outcome.total_ms.to_bits(),
+                from_trace.total_ms.to_bits()
+            );
+            // Entry-for-entry: same stages, in the same first-launch order,
+            // with identical aggregates.
+            assert_eq!(from_outcome.stages, from_trace.stages);
+        }
+    }
+
+    #[test]
+    fn engine_spans_cover_every_stage() {
+        let shape = WorkloadShape::new(4, 8192);
+        let p = params(16, 512, 64);
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        let tracer = trisolve_obs::Tracer::enabled();
+        gpu.set_tracer(tracer.clone());
+        let batch = random_dominant::<f32>(shape, 11).unwrap();
+        let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+        session.solve(&mut gpu, &batch, &p).unwrap();
+
+        let events = tracer.events();
+        let engine_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.cat == "engine")
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(engine_names.contains(&"session"));
+        assert!(engine_names.contains(&"stage1"));
+        assert!(engine_names.contains(&"stage2"));
+        assert!(engine_names.contains(&"base"));
+        let solve = events
+            .iter()
+            .find(|e| e.cat == "engine" && e.name == "solve")
+            .expect("solve span");
+        // 2 stage1 doublings (4 → 8 → 16 systems) + stage2 + base.
+        assert_eq!(solve.arg_u64("launches"), Some(4));
+        assert_eq!(solve.arg_u64("onchip_size"), Some(512));
     }
 
     #[test]

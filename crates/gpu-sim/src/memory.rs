@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::sync::Arc;
+use trisolve_obs::{arg, Tracer};
 
 /// Handle to a buffer in simulated global memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +125,7 @@ pub struct Gpu<E: Element> {
     elapsed_s: f64,
     free_queue: FreeQueue,
     sanitizer: Option<SanitizerState>,
+    tracer: Tracer,
 }
 
 /// Device-side sanitizer state: a global-memory init shadow per buffer slot
@@ -157,7 +159,22 @@ impl<E: Element> Gpu<E> {
             elapsed_s: 0.0,
             free_queue: Arc::new(Mutex::new(Vec::new())),
             sanitizer: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: every launch, H2D/D2H transfer and sanitizer
+    /// hazard from now on emits into it (see [`trisolve_obs`]). The
+    /// default tracer is disabled; tracing never feeds the cost model, so
+    /// results and simulated timings are bit-identical either way.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle (disabled unless [`Gpu::set_tracer`] was
+    /// called). Clone it to emit correlated events from host-side layers.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Create a device with the dynamic sanitizer enabled (see
@@ -277,6 +294,7 @@ impl<E: Element> Gpu<E> {
         if let Some(st) = &mut self.sanitizer {
             st.init[id.0].set_all();
         }
+        self.trace_transfer("h2d", id, data.len());
         Ok(id)
     }
 
@@ -309,12 +327,40 @@ impl<E: Element> Gpu<E> {
         if let Some(st) = &mut self.sanitizer {
             st.init[id.0].set_all();
         }
+        self.trace_transfer("h2d", id, data.len());
         Ok(())
     }
 
     /// Copy a buffer back to the host.
     pub fn download(&self, id: BufferId) -> Result<Vec<E>, SimError> {
-        Ok(self.view(id)?.to_vec())
+        let out = self.view(id)?.to_vec();
+        self.trace_transfer("d2h", id, out.len());
+        Ok(out)
+    }
+
+    /// Record one host↔device transfer as a trace instant plus a byte
+    /// counter. No-op when no tracer is attached.
+    fn trace_transfer(&self, direction: &'static str, id: BufferId, elems: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let bytes = elems * E::BYTES;
+        self.tracer.instant(
+            "gpu",
+            direction,
+            self.elapsed_s * 1e6,
+            vec![
+                arg("buffer", id.0),
+                arg("elems", elems),
+                arg("bytes", bytes),
+            ],
+        );
+        let counter = if direction == "h2d" {
+            "h2d_bytes"
+        } else {
+            "d2h_bytes"
+        };
+        self.tracer.counter_add(counter, bytes as u64);
     }
 
     /// Borrow a buffer's contents.
@@ -464,6 +510,9 @@ impl<E: Element> Gpu<E> {
         }
 
         let (stats, audit) = result?;
+        if self.tracer.is_enabled() {
+            self.trace_launch(&stats, audit.as_ref());
+        }
         if let (Some(st), Some(audit)) = (&mut self.sanitizer, audit) {
             st.report.launches_checked += 1;
             st.report.hazards.extend(audit.hazards);
@@ -475,6 +524,67 @@ impl<E: Element> Gpu<E> {
         self.elapsed_s += stats.total_time_s();
         self.timeline.push(stats.clone());
         Ok(stats)
+    }
+
+    /// Emit the per-launch trace span (plus counters and any sanitizer
+    /// hazard instants) for a successful launch. Called before the clock
+    /// advances, so the span starts at the pre-launch timestamp.
+    fn trace_launch(&self, stats: &KernelStats, audit: Option<&LaunchAudit>) {
+        let begin_us = self.elapsed_s * 1e6;
+        let dur_us = stats.total_time_s() * 1e6;
+        self.tracer.span(
+            "gpu",
+            stats.label.clone(),
+            begin_us,
+            dur_us,
+            vec![
+                arg("grid", stats.grid_blocks),
+                arg("block", stats.block_threads),
+                arg("blocks_per_sm", stats.residency.blocks_per_sm),
+                arg("warps_per_sm", stats.residency.warps_per_sm),
+                arg("residency_limit", stats.residency.limited_by),
+                arg("limited_by", format!("{:?}", stats.limited_by)),
+                arg("exec_s", stats.exec_time_s),
+                arg("overhead_s", stats.overhead_s),
+                arg("gmem_payload_bytes", stats.totals.gmem_payload_bytes()),
+                arg("gmem_read_bytes", stats.totals.gmem_read_bytes as u64),
+                arg("gmem_write_bytes", stats.totals.gmem_write_bytes as u64),
+                arg("gmem_txn_bytes", stats.totals.gmem_txn_bytes as u64),
+                arg("gmem_warp_txns", stats.totals.gmem_warp_txns as u64),
+                arg("smem_accesses", stats.totals.smem_accesses as u64),
+                arg("smem_conflicts", stats.totals.smem_conflict_accesses as u64),
+                arg("thread_ops", stats.totals.thread_ops as u64),
+                arg("barriers", stats.totals.barriers as u64),
+            ],
+        );
+        self.tracer.counter_add("launches", 1);
+        self.tracer.counter_add(
+            "gmem_payload_bytes",
+            stats.totals.gmem_payload_bytes() as u64,
+        );
+        self.tracer
+            .counter_add("gmem_txn_bytes", stats.totals.gmem_txn_bytes as u64);
+        self.tracer
+            .counter_add("barriers", stats.totals.barriers as u64);
+        if let Some(audit) = audit {
+            for h in &audit.hazards {
+                self.tracer.instant(
+                    "sanitizer",
+                    "hazard",
+                    begin_us,
+                    vec![
+                        arg("kernel", h.kernel.as_str()),
+                        arg("kind", h.kind.to_string()),
+                        arg("site", h.second.site),
+                        arg("region", h.region.to_string()),
+                        arg("block", h.block),
+                        arg("index", h.index),
+                        arg("detail", h.to_string()),
+                    ],
+                );
+                self.tracer.counter_add("hazards", 1);
+            }
+        }
     }
 
     fn run_blocks<F>(
@@ -736,6 +846,86 @@ mod tests {
         let mut g = gpu();
         let id = g.alloc(4).unwrap();
         assert!(g.upload(id, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn traced_launch_emits_span_and_transfer_events() {
+        let mut g = gpu();
+        let tracer = Tracer::enabled();
+        g.set_tracer(tracer.clone());
+        let src = g.alloc_from(&[1.0f32; 256]).unwrap();
+        let dst = g.alloc(256).unwrap();
+        let cfg = LaunchConfig::new("double[test]", 2, 128);
+        g.launch(
+            &cfg,
+            &[src],
+            &[(dst, OutMode::Chunked { chunk: 128 })],
+            |ctx, io| {
+                let b = ctx.block_id as usize;
+                ctx.gmem_read(128, 1);
+                ctx.gmem_write(128, 1);
+                for i in 0..128 {
+                    io.owned[0][i] = io.inputs[0][b * 128 + i] * 2.0;
+                }
+            },
+        )
+        .unwrap();
+        let _ = g.download(dst).unwrap();
+
+        let events = tracer.events();
+        let span = events
+            .iter()
+            .find(|e| e.cat == "gpu" && e.name == "double[test]")
+            .expect("launch span recorded");
+        assert_eq!(span.family(), "double");
+        assert_eq!(span.arg_u64("grid"), Some(2));
+        assert_eq!(span.arg_u64("block"), Some(128));
+        assert_eq!(span.arg_u64("gmem_read_bytes"), Some(256 * 4));
+        assert_eq!(span.arg_u64("gmem_write_bytes"), Some(256 * 4));
+        assert!((span.dur_us - g.elapsed_s() * 1e6).abs() < 1e-9);
+        let h2d = events.iter().filter(|e| e.name == "h2d").count();
+        let d2h = events.iter().filter(|e| e.name == "d2h").count();
+        assert_eq!(h2d, 1);
+        assert_eq!(d2h, 1);
+        let counters = tracer.counters();
+        assert!(counters.contains(&("launches", 1)));
+        assert!(counters.contains(&("h2d_bytes", 256 * 4)));
+        assert!(counters.contains(&("d2h_bytes", 256 * 4)));
+    }
+
+    #[test]
+    fn tracing_leaves_clock_and_results_bit_identical() {
+        let run = |traced: bool| -> (f64, Vec<f32>) {
+            let mut g = gpu();
+            if traced {
+                g.set_tracer(Tracer::enabled());
+            }
+            let src = g
+                .alloc_from(&(0..512).map(|i| i as f32).collect::<Vec<_>>())
+                .unwrap();
+            let dst = g.alloc(512).unwrap();
+            let cfg = LaunchConfig::new("scale", 4, 128);
+            g.launch(
+                &cfg,
+                &[src],
+                &[(dst, OutMode::Chunked { chunk: 128 })],
+                |ctx, io| {
+                    let b = ctx.block_id as usize;
+                    ctx.gmem_read(128, 1);
+                    ctx.gmem_write(128, 1);
+                    for i in 0..128 {
+                        io.owned[0][i] = io.inputs[0][b * 128 + i] * 0.5;
+                    }
+                    ctx.ops(128);
+                },
+            )
+            .unwrap();
+            (g.elapsed_s(), g.download(dst).unwrap())
+        };
+        let (t_off, x_off) = run(false);
+        let (t_on, x_on) = run(true);
+        assert_eq!(t_off.to_bits(), t_on.to_bits());
+        assert_eq!(x_off, x_on);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Typed trace events: the unit every sink stores and every exporter walks.
+//!
+//! An event is deliberately plain data — a sequence number, a simulated
+//! timestamp, a phase, a category, a name, and a small bag of typed
+//! arguments. Everything else (Chrome-trace rendering, metrics rollups,
+//! timeline projections) is derived from slices of [`TraceEvent`].
+
+/// A typed argument value attached to a [`TraceEvent`].
+///
+/// The variants cover everything the instrumented layers need to record
+/// (counters, simulated seconds, labels, decisions) without pulling in a
+/// serialization dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer (sizes, counts, byte totals).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (simulated seconds, costs). Non-finite values are
+    /// exported as JSON `null`.
+    F64(f64),
+    /// A boolean (decisions such as `accepted` / `runnable`).
+    Bool(bool),
+    /// A string (kernel labels, axis names, variants).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// Build one `(key, value)` argument pair with type inference on the value.
+///
+/// ```
+/// use trisolve_obs::{arg, ArgValue};
+/// assert_eq!(arg("grid", 128usize), ("grid", ArgValue::U64(128)));
+/// ```
+pub fn arg(key: &'static str, value: impl Into<ArgValue>) -> (&'static str, ArgValue) {
+    (key, value.into())
+}
+
+/// The phase of a trace event, mirroring the Chrome trace-event phases the
+/// exporter emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span with a start time and a duration (`ph: "X"`).
+    Span,
+    /// A zero-duration point event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded trace event.
+///
+/// Timestamps are **simulated** microseconds (the GPU simulator's
+/// `elapsed_s` clock scaled by 1e6), not wall time: traces are therefore
+/// bit-for-bit reproducible across runs of the same workload and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number assigned by the sink at record time.
+    pub seq: u64,
+    /// Event start, in simulated microseconds.
+    pub ts_us: f64,
+    /// Span duration in simulated microseconds; `0.0` for instants.
+    pub dur_us: f64,
+    /// Span or instant.
+    pub phase: Phase,
+    /// Category: which layer emitted the event (`"gpu"`, `"engine"`,
+    /// `"tuner"`, `"sanitizer"`). Categories map to separate Perfetto rows.
+    pub cat: &'static str,
+    /// Event name (kernel label, stage name, `"eval"`, `"hazard"`, ...).
+    pub name: String,
+    /// Typed key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Look up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Argument as `f64`, if present and numeric.
+    pub fn arg_f64(&self, key: &str) -> Option<f64> {
+        match self.arg(key)? {
+            ArgValue::F64(v) => Some(*v),
+            ArgValue::U64(v) => Some(*v as f64),
+            ArgValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Argument as `u64`, if present and an unsigned integer.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        match self.arg(key)? {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Argument as `&str`, if present and a string.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        match self.arg(key)? {
+            ArgValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Argument as `bool`, if present and boolean.
+    pub fn arg_bool(&self, key: &str) -> Option<bool> {
+        match self.arg(key)? {
+            ArgValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The kernel *family* of this event's name: the label up to the first
+    /// `'['`. Kernel launches are labelled like `"stage1[p=16]"`; the
+    /// family (`"stage1"`) is the aggregation key used by both
+    /// `StageTimeline` and [`crate::MetricsReport`].
+    pub fn family(&self) -> &str {
+        match self.name.find('[') {
+            Some(i) => &self.name[..i],
+            None => self.name.as_str(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_lookup_and_coercions() {
+        let ev = TraceEvent {
+            seq: 0,
+            ts_us: 1.0,
+            dur_us: 2.0,
+            phase: Phase::Span,
+            cat: "gpu",
+            name: "stage2[v=interleaved]".to_string(),
+            args: vec![
+                arg("grid", 8usize),
+                arg("exec_s", 0.5f64),
+                arg("variant", "interleaved"),
+                arg("accepted", true),
+            ],
+        };
+        assert_eq!(ev.arg_u64("grid"), Some(8));
+        assert_eq!(ev.arg_f64("grid"), Some(8.0));
+        assert_eq!(ev.arg_f64("exec_s"), Some(0.5));
+        assert_eq!(ev.arg_str("variant"), Some("interleaved"));
+        assert_eq!(ev.arg_bool("accepted"), Some(true));
+        assert_eq!(ev.arg("missing"), None);
+        assert_eq!(ev.family(), "stage2");
+    }
+
+    #[test]
+    fn family_without_bracket_is_whole_name() {
+        let ev = TraceEvent {
+            seq: 0,
+            ts_us: 0.0,
+            dur_us: 0.0,
+            phase: Phase::Instant,
+            cat: "engine",
+            name: "solve".to_string(),
+            args: Vec::new(),
+        };
+        assert_eq!(ev.family(), "solve");
+    }
+}

@@ -1,0 +1,247 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and line-delimited JSON (JSONL).
+//!
+//! The JSON is written by hand — the crate is zero-dependency — with full
+//! string escaping and shortest-roundtrip float formatting (Rust's `{}`
+//! for `f64`), so the output parses back exactly. Non-finite floats
+//! become JSON `null`.
+
+use std::fmt::Write as _;
+
+use crate::event::{ArgValue, Phase, TraceEvent};
+
+/// The Perfetto "thread" row a category renders on. Separate rows keep
+/// engine spans, per-launch GPU spans, tuner telemetry, and sanitizer
+/// hazards visually stacked instead of interleaved.
+pub fn tid_for_cat(cat: &str) -> u32 {
+    match cat {
+        "engine" => 0,
+        "gpu" => 1,
+        "tuner" => 2,
+        "sanitizer" => 3,
+        _ => 4,
+    }
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) => write_f64(out, *x),
+        ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_json_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json_into(out, k);
+        out.push_str("\":");
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+fn write_event_fields(out: &mut String, ev: &TraceEvent) {
+    out.push_str("\"name\":\"");
+    escape_json_into(out, &ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_json_into(out, ev.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(match ev.phase {
+        Phase::Span => "X",
+        Phase::Instant => "i",
+    });
+    out.push_str("\",\"ts\":");
+    write_f64(out, ev.ts_us);
+    if ev.phase == Phase::Span {
+        out.push_str(",\"dur\":");
+        write_f64(out, ev.dur_us);
+    }
+    if ev.phase == Phase::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":0,\"tid\":{}", tid_for_cat(ev.cat));
+    out.push_str(",\"args\":");
+    let mut args = Vec::with_capacity(ev.args.len() + 1);
+    args.push(("seq", ArgValue::U64(ev.seq)));
+    args.extend(ev.args.iter().cloned());
+    write_args(out, &args);
+}
+
+/// Render a full Chrome trace-event JSON document:
+/// `{"displayTimeUnit":"ms","traceEvents":[...]}`.
+///
+/// Besides one `"X"`/`"i"` event per [`TraceEvent`], the document carries
+/// `"M"` thread-name metadata (one named row per category) and one final
+/// `"C"` counter event per accumulated counter, stamped at the end of the
+/// trace.
+pub fn chrome_trace(events: &[TraceEvent], counters: &[(&'static str, u64)]) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    for (tid, label) in [
+        (0u32, "engine"),
+        (1, "gpu-sim launches"),
+        (2, "autotune"),
+        (3, "sanitizer"),
+    ] {
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+
+    for ev in events {
+        push_sep(&mut out);
+        out.push('{');
+        write_event_fields(&mut out, ev);
+        out.push('}');
+    }
+
+    let end_us = events
+        .iter()
+        .map(|e| e.ts_us + e.dur_us)
+        .fold(0.0f64, f64::max);
+    for (name, value) in counters {
+        push_sep(&mut out);
+        out.push_str("{\"name\":\"");
+        escape_json_into(&mut out, name);
+        out.push_str("\",\"ph\":\"C\",\"ts\":");
+        write_f64(&mut out, end_us);
+        let _ = write!(out, ",\"pid\":0,\"tid\":1,\"args\":{{\"value\":{value}}}}}");
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Render events as JSONL: one self-contained JSON object per line, in
+/// record order — convenient for `jq`, `grep`, and streaming diffing.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160);
+    for ev in events {
+        out.push('{');
+        write_event_fields(&mut out, ev);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::arg;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                seq: 0,
+                ts_us: 0.0,
+                dur_us: 12.5,
+                phase: Phase::Span,
+                cat: "gpu",
+                name: "stage2[v=\"q\"]".to_string(),
+                args: vec![arg("grid", 8usize), arg("exec_s", 1.25e-5f64)],
+            },
+            TraceEvent {
+                seq: 1,
+                ts_us: 12.5,
+                dur_us: 0.0,
+                phase: Phase::Instant,
+                cat: "tuner",
+                name: "eval".to_string(),
+                args: vec![arg("runnable", false), arg("axis", "onchip")],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_escaping() {
+        let doc = chrome_trace(&sample(), &[("launches", 3)]);
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        // Name with a quote is escaped.
+        assert!(doc.contains("stage2[v=\\\"q\\\"]"));
+        // Span has ts+dur, instant has scope marker, counter rides along.
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":12.5"));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"value\":3"));
+        // Thread-name metadata present.
+        assert!(doc.contains("\"thread_name\""));
+        // Balanced braces/brackets (cheap structural sanity check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let lines = jsonl(&sample());
+        let rows: Vec<&str> = lines.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with('{') && rows[0].ends_with('}'));
+        assert!(rows[1].contains("\"runnable\":false"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut out = String::new();
+        escape_json_into(&mut out, "a\nb\u{1}c");
+        assert_eq!(out, "a\\nb\\u0001c");
+    }
+}

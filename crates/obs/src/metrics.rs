@@ -1,0 +1,228 @@
+//! Aggregate metrics derived from a trace: top-k kernels by simulated
+//! time, bytes moved, launch/transfer counts, and tuner search totals.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+
+/// Rollup of one kernel family's launches in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel family (label up to the first `'['`).
+    pub family: String,
+    /// Number of launches.
+    pub launches: u64,
+    /// Total simulated milliseconds across launches.
+    pub total_ms: f64,
+    /// Total global-memory payload bytes (reads + writes).
+    pub payload_bytes: u64,
+}
+
+/// Summary table computed from a recorded trace, printed to stderr by the
+/// `trisolve trace` subcommand and the `--trace` bench flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Per-kernel-family rollups, sorted by total time descending.
+    pub kernels: Vec<KernelSummary>,
+    /// Total simulated milliseconds across all kernel launches.
+    pub gpu_total_ms: f64,
+    /// Candidate evaluations recorded by the microbenchmark harness.
+    pub tuner_evals: u64,
+    /// Probe/move/decision events recorded by the search routines.
+    pub tuner_search_events: u64,
+    /// Sanitizer hazard events present in the trace.
+    pub hazards: u64,
+    /// Host-to-device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device-to-host bytes moved.
+    pub d2h_bytes: u64,
+    /// All named counters accumulated by the sink, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsReport {
+    /// Build a report from an event slice and the sink's counters.
+    pub fn from_trace(events: &[TraceEvent], counters: &[(&'static str, u64)]) -> Self {
+        let mut kernels: BTreeMap<String, KernelSummary> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut gpu_total_ms = 0.0;
+        let mut tuner_evals = 0;
+        let mut tuner_search_events = 0;
+        let mut hazards = 0;
+        let mut h2d_bytes = 0;
+        let mut d2h_bytes = 0;
+
+        for ev in events {
+            match ev.cat {
+                "gpu" if ev.name == "h2d" => {
+                    h2d_bytes += ev.arg_u64("bytes").unwrap_or(0);
+                }
+                "gpu" if ev.name == "d2h" => {
+                    d2h_bytes += ev.arg_u64("bytes").unwrap_or(0);
+                }
+                "gpu" => {
+                    let family = ev.family().to_string();
+                    let ms = ev.dur_us / 1e3;
+                    gpu_total_ms += ms;
+                    let payload = ev.arg_u64("gmem_read_bytes").unwrap_or(0)
+                        + ev.arg_u64("gmem_write_bytes").unwrap_or(0);
+                    let entry = kernels.entry(family.clone()).or_insert_with(|| {
+                        order.push(family.clone());
+                        KernelSummary {
+                            family,
+                            launches: 0,
+                            total_ms: 0.0,
+                            payload_bytes: 0,
+                        }
+                    });
+                    entry.launches += 1;
+                    entry.total_ms += ms;
+                    entry.payload_bytes += payload;
+                }
+                "tuner" if ev.name == "eval" => tuner_evals += 1,
+                "tuner" => tuner_search_events += 1,
+                "sanitizer" => hazards += 1,
+                _ => {}
+            }
+        }
+
+        let mut rows: Vec<KernelSummary> = order
+            .into_iter()
+            .filter_map(|family| kernels.get(&family).cloned())
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_ms
+                .partial_cmp(&a.total_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        Self {
+            events: events.len(),
+            kernels: rows,
+            gpu_total_ms,
+            tuner_evals,
+            tuner_search_events,
+            hazards,
+            h2d_bytes,
+            d2h_bytes,
+            counters: counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+        }
+    }
+
+    /// Render the report as a fixed-width table, listing at most `top_k`
+    /// kernel families.
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace metrics: {} events", self.events);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>6}",
+            "kernel family", "launches", "sim ms", "payload MiB", "% time"
+        );
+        for row in self.kernels.iter().take(top_k) {
+            let pct = if self.gpu_total_ms > 0.0 {
+                100.0 * row.total_ms / self.gpu_total_ms
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12.4} {:>12.2} {:>5.1}%",
+                row.family,
+                row.launches,
+                row.total_ms,
+                row.payload_bytes as f64 / (1024.0 * 1024.0),
+                pct
+            );
+        }
+        if self.kernels.len() > top_k {
+            let _ = writeln!(out, "  ... {} more families", self.kernels.len() - top_k);
+        }
+        let _ = writeln!(
+            out,
+            "  gpu total {:.4} ms | h2d {:.2} MiB | d2h {:.2} MiB | tuner evals {} | search events {} | hazards {}",
+            self.gpu_total_ms,
+            self.h2d_bytes as f64 / (1024.0 * 1024.0),
+            self.d2h_bytes as f64 / (1024.0 * 1024.0),
+            self.tuner_evals,
+            self.tuner_search_events,
+            self.hazards
+        );
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  counter {name:<26} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{arg, Phase};
+
+    fn gpu_span(seq: u64, name: &str, ts: f64, dur: f64, rd: u64, wr: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts_us: ts,
+            dur_us: dur,
+            phase: Phase::Span,
+            cat: "gpu",
+            name: name.to_string(),
+            args: vec![arg("gmem_read_bytes", rd), arg("gmem_write_bytes", wr)],
+        }
+    }
+
+    fn instant(
+        seq: u64,
+        cat: &'static str,
+        name: &str,
+        args: Vec<(&'static str, crate::ArgValue)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts_us: 0.0,
+            dur_us: 0.0,
+            phase: Phase::Instant,
+            cat,
+            name: name.to_string(),
+            args,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_family_and_sorts_by_time() {
+        let events = vec![
+            gpu_span(0, "base[thomas]", 0.0, 10.0, 100, 50),
+            gpu_span(1, "stage2[a]", 10.0, 500.0, 1000, 500),
+            gpu_span(2, "stage2[b]", 510.0, 500.0, 1000, 500),
+            instant(3, "gpu", "h2d", vec![arg("bytes", 4096u64)]),
+            instant(4, "gpu", "d2h", vec![arg("bytes", 1024u64)]),
+            instant(5, "tuner", "eval", Vec::new()),
+            instant(6, "tuner", "probe", Vec::new()),
+            instant(7, "sanitizer", "hazard", Vec::new()),
+        ];
+        let report = MetricsReport::from_trace(&events, &[("launches", 3)]);
+        assert_eq!(report.kernels.len(), 2);
+        assert_eq!(report.kernels[0].family, "stage2");
+        assert_eq!(report.kernels[0].launches, 2);
+        assert_eq!(report.kernels[0].payload_bytes, 3000);
+        assert_eq!(report.kernels[1].family, "base");
+        assert!((report.gpu_total_ms - 1.01).abs() < 1e-12);
+        assert_eq!(report.tuner_evals, 1);
+        assert_eq!(report.tuner_search_events, 1);
+        assert_eq!(report.hazards, 1);
+        assert_eq!(report.h2d_bytes, 4096);
+        assert_eq!(report.d2h_bytes, 1024);
+        assert_eq!(report.counters, vec![("launches".to_string(), 3)]);
+
+        let table = report.render(1);
+        assert!(table.contains("stage2"));
+        assert!(table.contains("... 1 more families"));
+    }
+}

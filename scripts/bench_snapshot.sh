@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Capture a machine-readable benchmark snapshot as BENCH_<n>.json.
+#
+# Runs the `snapshot` binary (per-device, per-workload solve costs for all
+# three tuners, tuner-evaluation counts, trace-derived launch/byte
+# counters; fixed seed, simulated clock — fully deterministic) and writes
+# the JSON next to the repo root, numbered so successive snapshots can be
+# diffed across commits.
+#
+# Usage:
+#     scripts/bench_snapshot.sh            # next free number, full grid
+#     scripts/bench_snapshot.sh --quick    # shrunken grid (fast)
+#     scripts/bench_snapshot.sh 7          # force BENCH_7.json
+#     scripts/bench_snapshot.sh 7 --quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+num=""
+quick=""
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick="--quick" ;;
+        ''|*[!0-9]*) echo "usage: $0 [n] [--quick]" >&2; exit 2 ;;
+        *) num="$arg" ;;
+    esac
+done
+
+if [[ -z "$num" ]]; then
+    num=0
+    while [[ -e "BENCH_${num}.json" ]]; do
+        num=$((num + 1))
+    done
+fi
+out="BENCH_${num}.json"
+
+echo "== cargo build --release -p trisolve-bench =="
+cargo build --release -p trisolve-bench
+
+echo "== snapshot ${quick:+(quick) }-> ${out} =="
+if [[ -n "$quick" ]]; then
+    cargo run -q --release -p trisolve-bench --bin snapshot -- --quick > "$out"
+else
+    cargo run -q --release -p trisolve-bench --bin snapshot > "$out"
+fi
+
+# Sanity: the snapshot must be non-empty JSON with a devices array.
+grep -q '"devices"' "$out"
+echo "wrote $out ($(wc -c < "$out") bytes)"

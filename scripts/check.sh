@@ -27,4 +27,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "== kernel sanitizer smoke run =="
 cargo run -q --release --bin trisolve -- sanitize --quick
 
+echo "== traced solve smoke run (chrome trace validates) =="
+trace_out="$(mktemp)"
+trap 'rm -f "$trace_out"' EXIT
+# `trisolve trace` parses its own chrome export back and fails on invalid
+# or empty JSON; the greps double-check the file landed with events.
+cargo run -q --release --bin trisolve -- trace \
+    --systems 4 --size 8192 --tuner static --out "$trace_out" >/dev/null
+grep -q '"traceEvents"' "$trace_out"
+grep -q '"ph":"X"' "$trace_out"
+
 echo "All checks passed."

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         "tune" => cmd_tune(&opts),
         "compare" => cmd_compare(&opts),
+        "trace" => cmd_trace(&opts),
         "sanitize" => cmd_sanitize(&opts),
         "sort" => cmd_sort(&opts),
         "fft" => cmd_fft(&opts),
@@ -64,6 +65,12 @@ USAGE:
   trisolve tune    --systems M --size N [--device ...] [--cache FILE] [--json]
   trisolve compare --systems M --size N [--seed S] [--json]
                    (all three tuners on all three devices)
+  trisolve trace   --systems M --size N [--device ...] [--tuner default|static|dynamic]
+                   [--workload random|poisson|adi|spline] [--seed S]
+                   [--format chrome|jsonl] [--out PATH]
+                   (traced solve on the simulated clock; Chrome trace-event
+                    JSON loads in Perfetto / chrome://tracing, metrics summary
+                    on stderr)
   trisolve sanitize [--quick] [--device 8800|280|470] [--shrink K] [--json]
                    (injected-hazard fixtures, then every shipping kernel
                     over the Figure 5-8 matrix under the dynamic sanitizer;
@@ -322,6 +329,84 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         for (name, t) in rows {
             println!("{name:<20} {:>10.3} {:>10.3} {:>10.3}", t[0], t[1], t[2]);
         }
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let shape = WorkloadShape::new(opt_usize(opts, "systems")?, opt_usize(opts, "size")?);
+    let dev = device(opts)?;
+    let batch = workload(opts, shape)?;
+    let format = opts.get("format").map_or("chrome", String::as_str);
+    if format != "chrome" && format != "jsonl" {
+        return Err(format!("unknown format `{format}` (use chrome or jsonl)"));
+    }
+
+    let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+    gpu.set_tracer(Tracer::enabled());
+
+    let (params, tuner_name) = match opts.get("tuner").map_or("dynamic", String::as_str) {
+        "default" => (
+            DefaultTuner.params_for(shape, dev.queryable(), 4),
+            "default",
+        ),
+        "static" => (StaticTuner.params_for(shape, dev.queryable(), 4), "static"),
+        "dynamic" => {
+            // Tune on the SAME traced gpu so the search telemetry (probe /
+            // move / select / eval events) lands in the trace alongside the
+            // final solve.
+            let mut tuner = DynamicTuner::new();
+            let cfg = tuner.tune_for(&mut gpu, shape);
+            (cfg.params_for(shape), "dynamic")
+        }
+        other => return Err(format!("unknown tuner `{other}`")),
+    };
+
+    let outcome = {
+        let mut backend = GpuBackend::new(&mut gpu);
+        let mut session = backend.prepare(shape, &params).map_err(|e| e.to_string())?;
+        backend
+            .solve(&mut session, &batch, &params)
+            .map_err(|e| e.to_string())?
+    };
+    let residual = batch_worst_relative_residual(&batch, &outcome.x).map_err(|e| e.to_string())?;
+
+    let tracer = gpu.tracer().clone();
+    let events = tracer.events();
+    let counters = tracer.counters();
+    let body = if format == "chrome" {
+        let json = chrome_trace(&events, &counters);
+        // Self-check before handing the file to Perfetto: the export must
+        // parse as JSON and actually contain events.
+        let parsed: serde_json::Value = serde_json::from_str(&json)
+            .map_err(|e| format!("internal error: chrome trace is not valid JSON: {e}"))?;
+        let n = parsed["traceEvents"].as_array().map_or(0, Vec::len);
+        if n == 0 {
+            return Err("internal error: chrome trace has no events".into());
+        }
+        json
+    } else {
+        jsonl(&events)
+    };
+
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+    } else {
+        println!("{body}");
+    }
+
+    // Summary on stderr so stdout stays machine-readable when no --out.
+    eprintln!(
+        "traced {} on {} ({tuner_name} tuner): {:.3} simulated ms, residual {residual:.3e}",
+        shape.label(),
+        dev.name(),
+        outcome.sim_time_ms(),
+    );
+    let report = MetricsReport::from_trace(&events, &counters);
+    eprint!("{}", report.render(8));
+    eprint!("{}", StageTimeline::from_trace(&events).render_table());
+    if let Some(path) = opts.get("out") {
+        eprintln!("wrote {format} trace ({} events) to {path}", events.len());
     }
     Ok(())
 }

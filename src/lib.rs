@@ -20,7 +20,9 @@
 //! * [`dnc`] — the §VI-C divide-and-conquer generalisation (auto-tuned
 //!   multi-stage merge sort);
 //! * [`sanitize`] — the `trisolve sanitize` harness: injected-hazard
-//!   fixtures plus the shipping-kernel sweep under the dynamic sanitizer.
+//!   fixtures plus the shipping-kernel sweep under the dynamic sanitizer;
+//! * [`obs`] — the unified tracing & metrics layer: per-launch spans on the
+//!   simulated clock, tuner-search telemetry, Chrome-trace/JSONL export.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use trisolve_autotune as autotune;
 pub use trisolve_core as solver;
 pub use trisolve_dnc as dnc;
 pub use trisolve_gpu_sim as gpu;
+pub use trisolve_obs as obs;
 pub use trisolve_tridiag as tridiag;
 
 /// The most common imports in one place.
@@ -63,6 +66,7 @@ pub mod prelude {
         SolveSession, SolverParams, StageTimeline,
     };
     pub use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu, QueryableProps};
+    pub use trisolve_obs::{chrome_trace, jsonl, MetricsReport, TraceEvent, Tracer};
     pub use trisolve_tridiag::norms::{batch_worst_relative_residual, relative_residual};
     pub use trisolve_tridiag::workloads::{
         adi_heat_lines, cubic_spline, poisson_1d, random_dominant, WorkloadShape,

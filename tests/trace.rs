@@ -1,0 +1,307 @@
+//! Integration tests for the observability layer: a traced solve must
+//! cover every pipeline stage with spans, the Chrome export must be valid
+//! loadable JSON, the tuner must leave telemetry for every searched axis,
+//! sanitizer hazards must land in the trace — and tracing must be a
+//! strict no-op, changing neither results nor simulated timings by a bit.
+
+use proptest::prelude::*;
+use trisolve::gpu::{LaunchConfig, OutMode};
+use trisolve::obs::Phase;
+use trisolve::prelude::*;
+
+/// A full-pipeline workload: 4 systems of 8192 equations with a stage-1
+/// target of 16 runs stage 1 (2 doublings), stage 2 and the base kernel.
+fn full_pipeline() -> (WorkloadShape, SolverParams, SystemBatch<f32>) {
+    let shape = WorkloadShape::new(4, 8192);
+    let params = SolverParams {
+        stage1_target_systems: 16,
+        onchip_size: 512,
+        thomas_switch: 64,
+        variant: BaseVariant::Strided,
+    };
+    let batch = random_dominant::<f32>(shape, 2011).unwrap();
+    (shape, params, batch)
+}
+
+fn traced_solve(
+    shape: WorkloadShape,
+    params: &SolverParams,
+    batch: &SystemBatch<f32>,
+) -> (SolveOutcome<f32>, Vec<TraceEvent>, Vec<(&'static str, u64)>) {
+    let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+    gpu.set_tracer(Tracer::enabled());
+    let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+    let outcome = session.solve(&mut gpu, batch, params).unwrap();
+    drop(session);
+    let tracer = gpu.tracer().clone();
+    (outcome, tracer.events(), tracer.counters())
+}
+
+/// The acceptance criterion: spans for all four pipeline stages, one gpu
+/// span per launch carrying byte counters, and a Chrome export that
+/// parses as JSON with a non-empty `traceEvents` array.
+#[test]
+fn traced_solve_covers_every_stage_and_chrome_export_validates() {
+    let (shape, params, batch) = full_pipeline();
+    let (outcome, events, counters) = traced_solve(shape, &params, &batch);
+
+    // Engine spans: the solve itself plus each stage it planned.
+    let engine: Vec<&str> = events
+        .iter()
+        .filter(|e| e.cat == "engine")
+        .map(|e| e.name.as_str())
+        .collect();
+    for want in ["session", "solve", "stage1", "stage2", "base"] {
+        assert!(engine.contains(&want), "missing engine span `{want}`");
+    }
+
+    // One gpu span per kernel launch, each with its byte counters.
+    let gpu_spans: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.cat == "gpu" && e.phase == Phase::Span)
+        .collect();
+    assert_eq!(gpu_spans.len(), outcome.kernel_stats.len());
+    for (span, stats) in gpu_spans.iter().zip(&outcome.kernel_stats) {
+        assert_eq!(span.name, stats.label);
+        assert_eq!(
+            span.arg_f64("gmem_payload_bytes"),
+            Some(stats.totals.gmem_payload_bytes()),
+            "{}",
+            stats.label
+        );
+        assert!(span.arg_u64("gmem_read_bytes").is_some());
+        assert!(span.arg_u64("gmem_write_bytes").is_some());
+        assert!(span.arg_u64("barriers").is_some());
+        assert_eq!(
+            span.dur_us.to_bits(),
+            (stats.total_time_s() * 1e6).to_bits()
+        );
+    }
+
+    // Spans are on the monotonic simulated clock, in record order.
+    for w in gpu_spans.windows(2) {
+        assert!(w[1].ts_us >= w[0].ts_us + w[0].dur_us - 1e-9);
+    }
+
+    // Host<->device transfers were traced and metered.
+    assert!(events.iter().any(|e| e.cat == "gpu" && e.name == "h2d"));
+    assert!(events.iter().any(|e| e.cat == "gpu" && e.name == "d2h"));
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert!(counter("h2d_bytes") > 0);
+    assert!(counter("d2h_bytes") > 0);
+    assert_eq!(counter("launches"), outcome.kernel_stats.len() as u64);
+
+    // The Chrome export is valid JSON with a non-empty traceEvents array
+    // containing complete spans; the JSONL export has one line per event.
+    let chrome = chrome_trace(&events, &counters);
+    let parsed: serde_json::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let rows = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(rows.len() > events.len(), "metadata + events expected");
+    assert!(rows.iter().any(|r| r["ph"] == "X"));
+    assert!(rows.iter().any(|r| r["ph"] == "M"));
+    assert_eq!(jsonl(&events).lines().count(), events.len());
+
+    // The metrics rollup agrees with the outcome's own accounting.
+    let report = MetricsReport::from_trace(&events, &counters);
+    assert_eq!(
+        report.kernels.iter().map(|k| k.launches).sum::<u64>(),
+        outcome.kernel_stats.len() as u64
+    );
+    assert!((report.gpu_total_ms - outcome.sim_time_ms()).abs() < 1e-9);
+
+    // And the trace-derived stage timeline matches the outcome-derived one
+    // entry for entry (also asserted bit-exactly in trisolve-core's tests).
+    assert_eq!(
+        StageTimeline::from_trace(&events).stages,
+        StageTimeline::from_outcome(&outcome).stages
+    );
+}
+
+/// Dynamic tuning on a traced gpu leaves at least one probe per searched
+/// axis, eval events with parameters and costs, and a final summary.
+#[test]
+fn tuner_search_emits_telemetry_for_every_searched_axis() {
+    let shape = WorkloadShape::new(4, 8192);
+    let dev = DeviceSpec::gtx_470();
+    let mut gpu: Gpu<f32> = Gpu::new(dev.clone());
+    gpu.set_tracer(Tracer::enabled());
+    let mut tuner = DynamicTuner::new();
+    let cfg = tuner.tune_for(&mut gpu, shape);
+    let events = gpu.tracer().events();
+    let counters = gpu.tracer().counters();
+
+    let probes_on = |axis: &str| {
+        events
+            .iter()
+            .filter(|e| e.cat == "tuner" && e.name == "probe" && e.arg_str("axis") == Some(axis))
+            .count()
+    };
+    assert!(probes_on("onchip_size") >= 1);
+    assert!(probes_on("thomas_switch") >= 1);
+    // Stage-1 target is only searched when the workload runs stage 1.
+    let static_guess = StaticTuner.params_for(shape, dev.queryable(), 4);
+    if shape.num_systems < static_guess.stage1_target_systems {
+        assert!(probes_on("stage1_target") >= 1);
+    }
+
+    // Every micro-benchmark evaluation left a typed event with its
+    // parameters, cost and runnability, and the counter agrees with the
+    // tuner's own bookkeeping.
+    let evals: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.cat == "tuner" && e.name == "eval")
+        .collect();
+    assert_eq!(evals.len(), cfg.evaluations);
+    for ev in &evals {
+        assert!(ev.arg_u64("onchip_size").is_some());
+        assert!(ev.arg_u64("thomas_switch").is_some());
+        assert!(ev.arg_str("variant").is_some());
+        assert!(ev.arg_f64("cost_s").is_some());
+        assert!(ev.arg_bool("runnable").is_some());
+    }
+    assert_eq!(
+        counters
+            .iter()
+            .find(|(k, _)| *k == "tuner_evals")
+            .map(|(_, v)| *v),
+        Some(cfg.evaluations as u64)
+    );
+
+    // Each axis search converged with a selection, and the run closed
+    // with a summary of the winning configuration.
+    assert!(events
+        .iter()
+        .any(|e| e.cat == "tuner" && e.name == "select"));
+    let tuned = events
+        .iter()
+        .find(|e| e.cat == "tuner" && e.name == "tuned")
+        .expect("final tuned event");
+    assert_eq!(tuned.arg_u64("onchip_size"), Some(cfg.onchip_size as u64));
+    assert_eq!(tuned.arg_u64("evaluations"), Some(cfg.evaluations as u64));
+}
+
+/// Satellite 3: a planted out-of-bounds access on a sanitized *and*
+/// traced gpu must surface in the trace as a `"sanitizer"/"hazard"`
+/// event naming the kernel and the offending site.
+#[test]
+fn injected_oob_hazard_appears_in_trace() {
+    let mut gpu: Gpu<f32> = Gpu::with_sanitizer(DeviceSpec::gtx_470());
+    gpu.set_tracer(Tracer::enabled());
+    let input = gpu.alloc_from(&[1.0; 32]).unwrap();
+    let out = gpu.alloc(32).unwrap();
+    gpu.launch(
+        &LaunchConfig::new("fixture[oob]", 1, 32),
+        &[input],
+        &[(out, OutMode::Scattered)],
+        |_ctx, io| {
+            // Planted defect: the input has 32 elements, index 99 is OOB.
+            let _ = io.load(0, 99, 3, "trace_test::oob_load");
+        },
+    )
+    .unwrap();
+    let report = gpu.take_sanitizer_report().expect("sanitizer is on");
+    assert!(!report.is_clean(), "fixture must plant a hazard");
+
+    let events = gpu.tracer().events();
+    let hazard = events
+        .iter()
+        .find(|e| e.cat == "sanitizer" && e.name == "hazard")
+        .expect("hazard event in trace");
+    assert_eq!(hazard.arg_str("kernel"), Some("fixture[oob]"));
+    assert_eq!(hazard.arg_str("site"), Some("trace_test::oob_load"));
+    assert!(hazard.arg_str("kind").is_some());
+    assert!(gpu
+        .tracer()
+        .counters()
+        .iter()
+        .any(|&(k, v)| k == "hazards" && v >= 1));
+
+    // The hazard also rides along in the Chrome export as an instant.
+    let chrome = chrome_trace(&events, &gpu.tracer().counters());
+    let parsed: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    assert!(parsed["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|r| r["name"] == "hazard" && r["ph"] == "i"));
+}
+
+/// The no-op contract on the full pipeline: results and simulated
+/// timings are bit-identical with tracing on or off.
+#[test]
+fn tracing_on_off_solves_are_bit_identical() {
+    let (shape, params, batch) = full_pipeline();
+
+    let mut plain: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+    let mut session = SolveSession::new(&mut plain, shape).unwrap();
+    let off = session.solve(&mut plain, &batch, &params).unwrap();
+    drop(session);
+    assert_eq!(plain.tracer().event_count(), 0, "disabled sink stays empty");
+
+    let (on, events, _) = traced_solve(shape, &params, &batch);
+    assert!(!events.is_empty());
+    assert_eq!(off.x, on.x);
+    assert_eq!(off.sim_time_s.to_bits(), on.sim_time_s.to_bits());
+    assert_eq!(off.kernel_stats.len(), on.kernel_stats.len());
+    for (a, b) in off.kernel_stats.iter().zip(&on.kernel_stats) {
+        assert_eq!(
+            a.total_time_s().to_bits(),
+            b.total_time_s().to_bits(),
+            "{}",
+            a.label
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite 4a: tracing is deterministic — two traced runs of the
+    /// same workload produce identical event sequences (same order, same
+    /// timestamps to the bit, same arguments).
+    #[test]
+    fn two_traced_runs_emit_identical_event_sequences(
+        m in 1usize..6,
+        n in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let shape = WorkloadShape::new(m, n);
+        let batch = random_dominant::<f32>(shape, seed).unwrap();
+        let params = SolverParams::default_untuned();
+        let run = || traced_solve(shape, &params, &batch);
+        let (out1, ev1, c1) = run();
+        let (out2, ev2, c2) = run();
+        prop_assert_eq!(out1.x, out2.x);
+        prop_assert_eq!(ev1, ev2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Satellite 4b: a disabled sink records zero events and leaves zero
+    /// timing delta against a traced run of the same workload.
+    #[test]
+    fn disabled_sink_is_a_strict_noop(
+        m in 1usize..6,
+        n in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let shape = WorkloadShape::new(m, n);
+        let batch = random_dominant::<f32>(shape, seed).unwrap();
+        let params = SolverParams::default_untuned();
+
+        let mut plain: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        let off = solve_batch_on_gpu(&mut plain, &batch, &params).unwrap();
+        prop_assert_eq!(plain.tracer().event_count(), 0);
+        prop_assert!(plain.tracer().events().is_empty());
+        prop_assert!(plain.tracer().counters().is_empty());
+
+        let (on, events, _) = traced_solve(shape, &params, &batch);
+        prop_assert!(!events.is_empty());
+        prop_assert_eq!(off.x, on.x);
+        prop_assert_eq!(off.sim_time_s.to_bits(), on.sim_time_s.to_bits());
+    }
+}
