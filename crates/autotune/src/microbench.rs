@@ -6,7 +6,6 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use trisolve_core::engine::SolveSession;
 use trisolve_core::kernels::GpuScalar;
-use trisolve_core::CoreError;
 use trisolve_core::SolverParams;
 use trisolve_gpu_sim::Gpu;
 use trisolve_obs::arg;
@@ -31,7 +30,15 @@ pub struct Microbench<T: GpuScalar> {
     reuse_sessions: bool,
     /// Total configurations measured (for reporting tuning cost).
     pub measurements: usize,
+    /// Measurements that hit at least one transient device fault (see
+    /// [`trisolve_gpu_sim::fault`]). Each is retried up to
+    /// [`FAULT_RETRIES`] times before the candidate is written off as
+    /// unrunnable — the search then steps around it instead of aborting.
+    pub faulted_measurements: usize,
 }
+
+/// Transient-fault retries per measurement before a candidate costs `+inf`.
+pub const FAULT_RETRIES: usize = 2;
 
 impl<T: GpuScalar> Default for Microbench<T> {
     fn default() -> Self {
@@ -58,6 +65,7 @@ impl<T: GpuScalar> Microbench<T> {
             sessions: HashMap::new(),
             reuse_sessions: true,
             measurements: 0,
+            faulted_measurements: 0,
         }
     }
 
@@ -94,7 +102,7 @@ impl<T: GpuScalar> Microbench<T> {
         params: &SolverParams,
     ) -> f64 {
         let tracer = gpu.tracer().clone();
-        let cost = self.measure_inner(gpu, shape, params);
+        let (cost, fault_retries) = self.measure_inner(gpu, shape, params);
         if tracer.is_enabled() {
             tracer.instant_now(
                 "tuner",
@@ -108,6 +116,7 @@ impl<T: GpuScalar> Microbench<T> {
                     arg("variant", format!("{:?}", params.variant)),
                     arg("cost_s", cost),
                     arg("runnable", cost.is_finite()),
+                    arg("fault_retries", fault_retries),
                 ],
             );
             tracer.counter_add("tuner_evals", 1);
@@ -120,7 +129,7 @@ impl<T: GpuScalar> Microbench<T> {
         gpu: &mut Gpu<T>,
         shape: WorkloadShape,
         params: &SolverParams,
-    ) -> f64 {
+    ) -> (f64, usize) {
         self.measurements += 1;
         let batch = self
             .batches
@@ -132,7 +141,7 @@ impl<T: GpuScalar> Microbench<T> {
             let t = SolveSession::new(gpu, shape)
                 .and_then(|mut s| s.solve(gpu, batch, params))
                 .map(|o| o.sim_time_s);
-            return t.unwrap_or(f64::INFINITY);
+            return (t.unwrap_or(f64::INFINITY), 0);
         }
         let session = match self.sessions.entry(shape) {
             Entry::Occupied(e) => e.into_mut(),
@@ -140,15 +149,28 @@ impl<T: GpuScalar> Microbench<T> {
                 Ok(s) => v.insert(s),
                 // The shape itself doesn't fit the device: every parameter
                 // point is unrunnable.
-                Err(_) => return f64::INFINITY,
+                Err(_) => return (f64::INFINITY, 0),
             },
         };
-        match session.measure(gpu, batch, params) {
-            Ok(t) => t,
-            Err(CoreError::BadParams { .. })
-            | Err(CoreError::Device(_))
-            | Err(CoreError::NumericalBreakdown { .. }) => f64::INFINITY,
-            Err(_) => f64::INFINITY,
+        // Transient device faults (injected launch failures, timeouts) get
+        // a short retry budget so one blip does not disqualify a good
+        // candidate; a candidate still faulting afterwards is skipped
+        // (+inf) rather than aborting the whole search.
+        let mut fault_retries = 0usize;
+        loop {
+            match session.measure(gpu, batch, params) {
+                Ok(t) => return (t, fault_retries),
+                Err(e) if e.is_transient() && fault_retries < FAULT_RETRIES => {
+                    if fault_retries == 0 {
+                        self.faulted_measurements += 1;
+                    }
+                    fault_retries += 1;
+                }
+                // Deterministic failures (bad params, validation, algebra,
+                // numerical breakdown) and transient faults past the retry
+                // budget: unrunnable.
+                Err(_) => return (f64::INFINITY, fault_retries),
+            }
         }
     }
 
@@ -208,6 +230,42 @@ mod tests {
             .measure(&mut gpu, shape, &SolverParams::default_untuned())
             .is_finite());
         assert_eq!(mb.cached_sessions(), 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_not_fatal() {
+        use trisolve_gpu_sim::FaultPlan;
+        let mut mb: Microbench<f32> = Microbench::new();
+        // One guaranteed launch failure, then a clean device: the harness
+        // should absorb the fault, retry, and still produce a finite cost.
+        let plan = FaultPlan::seeded(11)
+            .with_launch_failures(1.0)
+            .with_max_faults(1);
+        let mut gpu = Gpu::with_faults(DeviceSpec::gtx_470(), plan);
+        let shape = WorkloadShape::new(16, 512);
+        let p = SolverParams::default_untuned();
+        let t = mb.measure(&mut gpu, shape, &p);
+        assert!(t.is_finite(), "fault should be retried, got {t}");
+        assert_eq!(mb.faulted_measurements, 1);
+        assert_eq!(mb.measurements, 1);
+        // A clean follow-up measurement does not count as faulted.
+        let t2 = mb.measure(&mut gpu, shape, &p);
+        assert!(t2.is_finite());
+        assert_eq!(mb.faulted_measurements, 1);
+    }
+
+    #[test]
+    fn persistent_faults_cost_infinity() {
+        use trisolve_gpu_sim::FaultPlan;
+        let mut mb: Microbench<f32> = Microbench::new();
+        // Unbounded guaranteed failures: the retry budget runs out and the
+        // candidate is priced out of the search instead of aborting it.
+        let plan = FaultPlan::seeded(3).with_launch_failures(1.0);
+        let mut gpu = Gpu::with_faults(DeviceSpec::gtx_470(), plan);
+        let shape = WorkloadShape::new(16, 512);
+        let t = mb.measure(&mut gpu, shape, &SolverParams::default_untuned());
+        assert!(t.is_infinite());
+        assert_eq!(mb.faulted_measurements, 1);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use trisolve_autotune::{DefaultTuner, DynamicTuner, StaticTuner, Tuner};
 use trisolve_bench::experiments;
-use trisolve_core::engine::{Backend, GpuBackend};
+use trisolve_core::engine::SolveSession;
+use trisolve_core::ResiliencePolicy;
 use trisolve_gpu_sim::{DeviceSpec, Gpu};
 use trisolve_obs::Tracer;
 use trisolve_tridiag::workloads::random_dominant;
@@ -46,14 +47,20 @@ fn main() {
             let cfg = tuner.tune_for(&mut gpu, shape);
             let params = clamp(&tuner);
             let solve_begin_us = gpu.tracer().clock_us();
-            let dynamic_ms = {
-                let mut backend = GpuBackend::new(&mut gpu);
-                match backend.prepare(shape, &params) {
-                    Ok(mut session) => backend
-                        .solve(&mut session, &batch, &params)
-                        .map_or(f64::INFINITY, |o| o.sim_time_ms()),
-                    Err(_) => f64::INFINITY,
-                }
+            // The tuned solve goes through the resilient pipeline so the
+            // snapshot records the recovery counters (all zero on a clean
+            // run — no fault plan is armed here; with no faults the
+            // resilient path is bit-identical to the plain solve).
+            let policy = ResiliencePolicy::for_elem_bytes(4);
+            let mut recovered_by = String::from("unrecovered");
+            let dynamic_ms = match SolveSession::new(&mut gpu, shape) {
+                Ok(mut session) => session
+                    .solve_resilient(&mut gpu, &batch, &params, &policy)
+                    .map_or(f64::INFINITY, |r| {
+                        recovered_by = r.recovered_by.to_string();
+                        r.outcome.sim_time_ms()
+                    }),
+                Err(_) => f64::INFINITY,
             };
             let counter = |name: &str| {
                 gpu.tracer()
@@ -87,6 +94,11 @@ fn main() {
                 "solve_launches": solve_launches,
                 "total_launches": counter("launches"),
                 "gmem_payload_bytes": counter("gmem_payload_bytes"),
+                "recovered_by": recovered_by,
+                "faults_injected": counter("faults_injected"),
+                "retries": counter("retries"),
+                "fallbacks": counter("fallbacks"),
+                "residual_checks": counter("residual_checks"),
             }));
         }
         devices.push(serde_json::json!({

@@ -28,6 +28,26 @@ pub enum CoreError {
         /// Which kernel flagged the breakdown.
         kernel: String,
     },
+    /// Every step of the resilience degradation chain failed (see
+    /// [`crate::resilience`]): retries were exhausted on every plan and the
+    /// CPU reference either failed or was not allowed by the policy.
+    ResilienceExhausted {
+        /// Total solve attempts across all chain steps.
+        attempts: usize,
+        /// The last failure observed (error message or residual report).
+        last_error: String,
+    },
+}
+
+impl CoreError {
+    /// True for failures that a retry of the same operation can plausibly
+    /// clear — currently exactly the transient device faults (see
+    /// [`SimError::is_transient`]). Parameter, algebra and validation
+    /// errors are deterministic: retrying them verbatim cannot succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Device(e) if e.is_transient())
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +74,13 @@ impl fmt::Display for CoreError {
             CoreError::NumericalBreakdown { kernel } => {
                 write!(f, "numerical breakdown in kernel `{kernel}`")
             }
+            CoreError::ResilienceExhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "resilience chain exhausted after {attempts} attempts: {last_error}"
+            ),
         }
     }
 }
@@ -63,6 +90,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Algebra(e) => Some(e),
             CoreError::Device(e) => Some(e),
+            CoreError::PlanRejected { report } => Some(report),
             _ => None,
         }
     }
@@ -83,6 +111,16 @@ impl From<SimError> for CoreError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trisolve_gpu_sim::{validate_launch, DeviceSpec, LaunchConfig};
+
+    /// A report that actually rejects: one launch asking for far too many
+    /// threads per block.
+    fn rejecting_report() -> ValidationReport {
+        let cfg = LaunchConfig::new("huge", 1, 1 << 20);
+        let report = validate_launch(DeviceSpec::gtx_470().queryable(), &cfg);
+        assert!(report.has_errors());
+        report
+    }
 
     #[test]
     fn conversions_and_display() {
@@ -100,11 +138,75 @@ mod tests {
     }
 
     #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::BadParams {
+                    detail: "onchip_size = 0".into(),
+                },
+                "bad solver parameters",
+            ),
+            (CoreError::Algebra(SolverError::EmptySystem), "algebra"),
+            (
+                CoreError::Device(SimError::InvalidBuffer { id: 7 }),
+                "device error",
+            ),
+            (
+                CoreError::PlanRejected {
+                    report: rejecting_report(),
+                },
+                "plan rejected by launch validation",
+            ),
+            (
+                CoreError::NumericalBreakdown {
+                    kernel: "pcr".into(),
+                },
+                "numerical breakdown",
+            ),
+            (
+                CoreError::ResilienceExhausted {
+                    attempts: 9,
+                    last_error: "residual 3.0e-1 over tolerance".into(),
+                },
+                "resilience chain exhausted after 9 attempts",
+            ),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "`{s}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
     fn source_chain() {
         use std::error::Error;
         let e: CoreError = SolverError::EmptySystem.into();
         assert!(e.source().is_some());
+        let e: CoreError = SimError::InvalidBuffer { id: 1 }.into();
+        assert!(e.source().is_some());
+        let e = CoreError::PlanRejected {
+            report: rejecting_report(),
+        };
+        let src = e.source().expect("rejected plan exposes its report");
+        assert!(src.to_string().contains("threads"));
         let e = CoreError::BadParams { detail: "x".into() };
         assert!(e.source().is_none());
+        let e = CoreError::ResilienceExhausted {
+            attempts: 1,
+            last_error: "x".into(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn transience_follows_the_device_error() {
+        assert!(
+            CoreError::Device(SimError::TransientLaunchFailure { kernel: "k".into() })
+                .is_transient()
+        );
+        assert!(CoreError::Device(SimError::KernelTimeout { kernel: "k".into() }).is_transient());
+        assert!(!CoreError::Device(SimError::InvalidBuffer { id: 0 }).is_transient());
+        assert!(!CoreError::BadParams { detail: "x".into() }.is_transient());
+        assert!(!CoreError::Algebra(SolverError::EmptySystem).is_transient());
     }
 }

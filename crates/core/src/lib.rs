@@ -31,6 +31,7 @@ pub mod kernels;
 pub mod params;
 pub mod plan;
 pub mod reference;
+pub mod resilience;
 pub mod solver;
 
 pub use engine::{
@@ -39,6 +40,7 @@ pub use engine::{
 pub use error::CoreError;
 pub use params::{BaseVariant, SolverParams, BASE_KERNEL_REGS_PER_THREAD};
 pub use plan::{SolvePlan, StageOp};
+pub use resilience::{RecoveryAction, RecoveryEvent, ResiliencePolicy, ResilientOutcome};
 pub use solver::{solve_batch_on_gpu, SolveOutcome};
 
 /// Result alias for this crate.

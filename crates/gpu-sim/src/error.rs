@@ -42,6 +42,36 @@ pub enum SimError {
         /// Second writer block.
         second_block: u32,
     },
+    /// A transient, retryable launch failure injected by the fault layer
+    /// (the simulated analogue of a sporadic `cudaErrorLaunchFailure`).
+    /// The kernel never ran and the simulated clock did not advance.
+    TransientLaunchFailure {
+        /// Label of the kernel that failed to launch.
+        kernel: String,
+    },
+    /// The kernel was killed by the simulated watchdog (fault-injected).
+    /// No results were produced and the simulated clock did not advance.
+    KernelTimeout {
+        /// Label of the kernel that timed out.
+        kernel: String,
+    },
+}
+
+impl SimError {
+    /// True for faults that a retry can plausibly clear: injected launch
+    /// failures, watchdog timeouts, and out-of-memory conditions (which a
+    /// later attempt may satisfy after buffers are released). Structural
+    /// errors — invalid launches, buffer misuse, write races — are not
+    /// transient; retrying them verbatim cannot succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::TransientLaunchFailure { .. }
+                | SimError::KernelTimeout { .. }
+                | SimError::OutOfGlobalMemory { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +102,12 @@ impl fmt::Display for SimError {
                 f,
                 "write race on output index {index}: blocks {first_block} and {second_block}"
             ),
+            SimError::TransientLaunchFailure { kernel } => {
+                write!(f, "transient launch failure: kernel `{kernel}` never ran")
+            }
+            SimError::KernelTimeout { kernel } => {
+                write!(f, "kernel `{kernel}` killed by the simulated watchdog")
+            }
         }
     }
 }
@@ -99,5 +135,31 @@ mod tests {
             SimError::InvalidBuffer { id: 3 },
             SimError::InvalidBuffer { id: 3 }
         );
+    }
+
+    #[test]
+    fn fault_variants_display_and_transience() {
+        let t = SimError::TransientLaunchFailure {
+            kernel: "pcr[s=1]".to_string(),
+        };
+        assert!(t.to_string().contains("pcr[s=1]"));
+        assert!(t.is_transient());
+        let w = SimError::KernelTimeout {
+            kernel: "thomas".to_string(),
+        };
+        assert!(w.to_string().contains("watchdog"));
+        assert!(w.is_transient());
+        assert!(SimError::OutOfGlobalMemory {
+            requested: 8,
+            available: 4
+        }
+        .is_transient());
+        assert!(!SimError::InvalidBuffer { id: 0 }.is_transient());
+        assert!(!SimError::WriteRace {
+            index: 0,
+            first_block: 0,
+            second_block: 1
+        }
+        .is_transient());
     }
 }

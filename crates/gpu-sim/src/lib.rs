@@ -33,6 +33,7 @@ pub mod cost;
 pub mod cpu;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod launch;
 pub mod memory;
 pub mod sanitizer;
@@ -43,6 +44,7 @@ pub use cost::{CostCounters, KernelStats, LimitedBy};
 pub use cpu::CpuSpec;
 pub use device::{DeviceSpec, HiddenProps, QueryableProps};
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRecord};
 pub use launch::{BlockCtx, BlockIo, BlockOut, LaunchConfig, OutMode, ScatterWriter};
 pub use memory::{BufferId, DeviceBuffer, Gpu, ProfileEntry};
 pub use sanitizer::{AccessSite, Hazard, HazardKind, Region, SanitizerReport};
@@ -54,14 +56,51 @@ pub use validate::{
 pub trait Element: Copy + Send + Sync + Default + std::fmt::Debug + 'static {
     /// Size of the element in bytes (drives the traffic model).
     const BYTES: usize;
+
+    /// The value with one storage bit flipped (`bit` taken modulo the bit
+    /// width): the fault injector's ECC-corruption primitive.
+    #[must_use]
+    fn flip_bit(self, bit: u32) -> Self;
 }
 
-macro_rules! impl_element {
-    ($($t:ty),*) => {
+macro_rules! impl_element_float {
+    ($($t:ty => $bits:ty),*) => {
         $(impl Element for $t {
             const BYTES: usize = std::mem::size_of::<$t>();
+
+            fn flip_bit(self, bit: u32) -> Self {
+                let mask = (1 as $bits) << (bit % (8 * Self::BYTES as u32));
+                Self::from_bits(self.to_bits() ^ mask)
+            }
         })*
     };
 }
 
-impl_element!(f32, f64, u32, u64, i32, i64);
+macro_rules! impl_element_int {
+    ($($t:ty),*) => {
+        $(impl Element for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            fn flip_bit(self, bit: u32) -> Self {
+                self ^ ((1 as $t) << (bit % (8 * Self::BYTES as u32)))
+            }
+        })*
+    };
+}
+
+impl_element_float!(f32 => u32, f64 => u64);
+impl_element_int!(u32, u64, i32, i64);
+
+#[cfg(test)]
+mod element_tests {
+    use super::Element;
+
+    #[test]
+    fn flip_bit_is_an_involution_and_changes_the_value() {
+        assert_eq!(1.0f32.flip_bit(3).flip_bit(3), 1.0);
+        assert_ne!(1.0f32.flip_bit(31), 1.0); // sign bit
+        assert_eq!(2.5f64.flip_bit(63).flip_bit(63), 2.5);
+        assert_eq!(0u32.flip_bit(5), 32);
+        assert_eq!((-7i64).flip_bit(64 + 2), (-7i64) ^ 4); // modulo width
+    }
+}

@@ -4,6 +4,7 @@
 use crate::cost::{CostCounters, KernelStats};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultLog, FaultPlan, FaultRecord};
 use crate::launch::{
     BlockCtx, BlockIo, LaunchConfig, OutMode, ScatterWriter, ShadowHandle, SharedOut,
 };
@@ -126,6 +127,7 @@ pub struct Gpu<E: Element> {
     free_queue: FreeQueue,
     sanitizer: Option<SanitizerState>,
     tracer: Tracer,
+    faults: Option<FaultInjector>,
 }
 
 /// Device-side sanitizer state: a global-memory init shadow per buffer slot
@@ -160,6 +162,7 @@ impl<E: Element> Gpu<E> {
             free_queue: Arc::new(Mutex::new(Vec::new())),
             sanitizer: None,
             tracer: Tracer::disabled(),
+            faults: None,
         }
     }
 
@@ -229,6 +232,68 @@ impl<E: Element> Gpu<E> {
             .map(|s| std::mem::take(&mut s.report))
     }
 
+    /// Create a device with a fault-injection campaign attached (see
+    /// [`crate::fault`]). A disabled plan attaches nothing.
+    pub fn with_faults(spec: DeviceSpec, plan: FaultPlan) -> Self {
+        let mut gpu = Self::new(spec);
+        gpu.enable_faults(plan);
+        gpu
+    }
+
+    /// Attach a fault-injection campaign to an existing device, replacing
+    /// any previous one. With [`FaultPlan::disabled`] (or any plan whose
+    /// rates are all zero) **no injector is attached at all**: every
+    /// operation takes the exact pre-fault-layer code path, so results and
+    /// simulated timings are bit-identical to a build without the fault
+    /// layer (the same strict no-op contract as the sanitizer and tracer).
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan.is_enabled().then(|| FaultInjector::new(plan));
+    }
+
+    /// True when a fault-injection campaign is active.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The injection history, if a campaign is active.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.faults.as_ref().map(FaultInjector::log)
+    }
+
+    /// Take the injection history, resetting it (the campaign, its PRNG
+    /// stream and its fault budget stay in place). `None` when no campaign
+    /// is active.
+    pub fn take_fault_log(&mut self) -> Option<FaultLog> {
+        self.faults.as_mut().map(FaultInjector::take_log)
+    }
+
+    /// Advance the simulated clock without launching anything — how the
+    /// resilience layer charges retry backoff to simulated time. Negative
+    /// amounts are ignored (the clock is monotonic).
+    pub fn advance_clock(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.elapsed_s += seconds;
+        }
+    }
+
+    /// Emit a fault instant into the trace (no-op when no tracer attached).
+    fn trace_fault(&self, rec: &FaultRecord) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.instant(
+            "resilience",
+            "fault",
+            self.elapsed_s * 1e6,
+            vec![
+                arg("kind", rec.kind.to_string()),
+                arg("site", rec.site.clone()),
+                arg("detail", rec.detail.clone()),
+            ],
+        );
+        self.tracer.counter_add("faults_injected", 1);
+    }
+
     /// The device specification.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
@@ -272,6 +337,14 @@ impl<E: Element> Gpu<E> {
                 available: cap - self.allocated_bytes,
             });
         }
+        let fault = self.faults.as_mut().and_then(|f| f.next_alloc_fault(bytes));
+        if let Some(rec) = fault {
+            self.trace_fault(&rec);
+            return Err(SimError::OutOfGlobalMemory {
+                requested: bytes,
+                available: cap - self.allocated_bytes,
+            });
+        }
         self.allocated_bytes += bytes;
         let id = BufferId(self.buffers.len());
         self.buffers.push(Some(vec![E::default(); len]));
@@ -294,8 +367,24 @@ impl<E: Element> Gpu<E> {
         if let Some(st) = &mut self.sanitizer {
             st.init[id.0].set_all();
         }
+        self.corrupt_h2d(id, data.len());
         self.trace_transfer("h2d", id, data.len());
         Ok(id)
+    }
+
+    /// Fault hook for H2D copies: maybe flip one bit of one element that
+    /// just landed in device buffer `id`.
+    fn corrupt_h2d(&mut self, id: BufferId, len: usize) {
+        let fault = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.next_transfer_fault("h2d", len, 8 * E::BYTES as u32));
+        if let Some((index, bit, rec)) = fault {
+            if let Some(buf) = self.buffers.get_mut(id.0).and_then(|b| b.as_mut()) {
+                buf[index] = buf[index].flip_bit(bit);
+            }
+            self.trace_fault(&rec);
+        }
     }
 
     /// Allocate a zero-initialised buffer owned by an RAII guard.
@@ -327,13 +416,26 @@ impl<E: Element> Gpu<E> {
         if let Some(st) = &mut self.sanitizer {
             st.init[id.0].set_all();
         }
+        self.corrupt_h2d(id, data.len());
         self.trace_transfer("h2d", id, data.len());
         Ok(())
     }
 
     /// Copy a buffer back to the host.
-    pub fn download(&self, id: BufferId) -> Result<Vec<E>, SimError> {
-        let out = self.view(id)?.to_vec();
+    ///
+    /// Takes `&mut self` so the fault layer can corrupt the host copy (the
+    /// device buffer itself is untouched by a D2H fault) — with no
+    /// campaign attached the call is read-only in effect.
+    pub fn download(&mut self, id: BufferId) -> Result<Vec<E>, SimError> {
+        let mut out = self.view(id)?.to_vec();
+        let fault = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.next_transfer_fault("d2h", out.len(), 8 * E::BYTES as u32));
+        if let Some((index, bit, rec)) = fault {
+            out[index] = out[index].flip_bit(bit);
+            self.trace_fault(&rec);
+        }
         self.trace_transfer("d2h", id, out.len());
         Ok(out)
     }
@@ -491,6 +593,19 @@ impl<E: Element> Gpu<E> {
             }
         }
 
+        // Fault hook: a transient launch failure or watchdog timeout aborts
+        // here — the kernel never runs, buffers are untouched and the
+        // simulated clock does not advance (same contract as the error
+        // paths above).
+        let launch_fault = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.next_launch_fault(&cfg.label));
+        if let Some((err, rec)) = launch_fault {
+            self.trace_fault(&rec);
+            return Err(err);
+        }
+
         // Take output buffers out of the pool so inputs can be borrowed
         // immutably at the same time.
         let mut taken: Vec<(BufferId, OutMode, Vec<E>)> = Vec::with_capacity(outputs.len());
@@ -510,6 +625,27 @@ impl<E: Element> Gpu<E> {
         }
 
         let (stats, audit) = result?;
+
+        // Fault hook: an ECC-style bit flip silently corrupts one element
+        // of one output buffer after a successful launch. The cost model
+        // and the sanitizer's init shadows are unaffected — the corruption
+        // is only observable in the data (and to residual verification).
+        let output_lens: Vec<usize> = outputs
+            .iter()
+            .map(|(oid, _)| self.buffers[oid.0].as_ref().map_or(0, Vec::len))
+            .collect();
+        let flip = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.next_output_bit_flip(&cfg.label, &output_lens, 8 * E::BYTES as u32));
+        if let Some((slot, index, bit, rec)) = flip {
+            let oid = outputs[slot].0;
+            if let Some(buf) = self.buffers.get_mut(oid.0).and_then(|b| b.as_mut()) {
+                buf[index] = buf[index].flip_bit(bit);
+            }
+            self.trace_fault(&rec);
+        }
+
         if self.tracer.is_enabled() {
             self.trace_launch(&stats, audit.as_ref());
         }
@@ -1183,6 +1319,178 @@ mod tests {
         drop(b); // enqueues a second free of the same id
         assert!(g.alloc(1).is_ok()); // reclaim ignores the stale entry
         assert_eq!(g.allocated_bytes(), 4);
+    }
+
+    #[test]
+    fn disabled_fault_plan_attaches_no_injector() {
+        let mut g = gpu();
+        g.enable_faults(FaultPlan::disabled());
+        assert!(!g.faults_enabled());
+        assert!(g.fault_log().is_none());
+        let g2: Gpu<f32> = Gpu::with_faults(DeviceSpec::gtx_470(), FaultPlan::seeded(5));
+        assert!(!g2.faults_enabled(), "all-zero rates attach nothing");
+    }
+
+    #[test]
+    fn injected_launch_failure_leaves_clock_and_buffers_intact() {
+        let mut g = gpu();
+        g.enable_faults(FaultPlan::seeded(11).with_launch_failures(1.0));
+        let dst = g.alloc(64).unwrap();
+        let cfg = LaunchConfig::new("k", 2, 32);
+        let err = g.launch(
+            &cfg,
+            &[],
+            &[(dst, OutMode::Chunked { chunk: 32 })],
+            |_, _| {},
+        );
+        assert!(matches!(err, Err(SimError::TransientLaunchFailure { .. })));
+        assert_eq!(g.elapsed_s(), 0.0, "failed launch must not advance time");
+        assert!(g.view(dst).is_ok(), "buffers restored");
+        assert!(g.timeline().is_empty());
+        assert_eq!(g.fault_log().unwrap().launch_failures, 1);
+    }
+
+    #[test]
+    fn injected_timeout_is_a_distinct_error() {
+        let mut g = gpu();
+        g.enable_faults(FaultPlan::seeded(11).with_kernel_timeouts(1.0));
+        let dst = g.alloc(64).unwrap();
+        let cfg = LaunchConfig::new("k", 2, 32);
+        let err = g.launch(
+            &cfg,
+            &[],
+            &[(dst, OutMode::Chunked { chunk: 32 })],
+            |_, _| {},
+        );
+        assert!(matches!(err, Err(SimError::KernelTimeout { .. })));
+        assert_eq!(g.elapsed_s(), 0.0);
+    }
+
+    #[test]
+    fn injected_oom_reports_out_of_memory() {
+        let mut g = gpu();
+        g.enable_faults(FaultPlan::seeded(2).with_alloc_failures(1.0));
+        assert!(matches!(
+            g.alloc(16),
+            Err(SimError::OutOfGlobalMemory { .. })
+        ));
+        assert_eq!(g.allocated_bytes(), 0, "failed alloc must not leak");
+        assert_eq!(g.fault_log().unwrap().alloc_failures, 1);
+    }
+
+    #[test]
+    fn h2d_corruption_flips_exactly_one_element() {
+        let mut g = gpu();
+        g.enable_faults(
+            FaultPlan::seeded(4)
+                .with_transfer_corruption(1.0)
+                .with_max_faults(1),
+        );
+        let data: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        let id = g.alloc_from(&data).unwrap();
+        let on_device = g.view(id).unwrap();
+        let diffs = on_device
+            .iter()
+            .zip(&data)
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        assert_eq!(diffs, 1);
+        assert_eq!(g.fault_log().unwrap().transfer_corruptions, 1);
+    }
+
+    #[test]
+    fn d2h_corruption_leaves_device_buffer_untouched() {
+        let mut g = gpu();
+        g.enable_faults(
+            FaultPlan::seeded(4)
+                .with_transfer_corruption(1.0)
+                .with_max_faults(2),
+        );
+        let data = vec![1.0f32; 64];
+        let id = g.alloc(64).unwrap();
+        g.upload(id, &data).unwrap(); // fault #1 corrupts the device copy
+        let device_copy = g.view(id).unwrap().to_vec();
+        let host_copy = g.download(id).unwrap(); // fault #2 corrupts the host copy
+        assert_ne!(host_copy, device_copy);
+        assert_eq!(g.view(id).unwrap(), device_copy.as_slice());
+    }
+
+    #[test]
+    fn output_bit_flip_corrupts_one_result_element() {
+        let mut g = gpu();
+        g.enable_faults(FaultPlan::seeded(6).with_bit_flips(1.0).with_max_faults(1));
+        let dst = g.alloc(256).unwrap();
+        let cfg = LaunchConfig::new("ones", 2, 32);
+        g.launch(
+            &cfg,
+            &[],
+            &[(dst, OutMode::Chunked { chunk: 128 })],
+            |_, io| {
+                for v in io.owned[0].iter_mut() {
+                    *v = 1.0;
+                }
+            },
+        )
+        .unwrap();
+        let out = g.download(dst).unwrap();
+        let wrong = out.iter().filter(|v| **v != 1.0).count();
+        assert_eq!(wrong, 1);
+        assert!(g.elapsed_s() > 0.0, "a corrupted launch still ran");
+        assert_eq!(g.fault_log().unwrap().bit_flips, 1);
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (FaultLog, Vec<f32>) {
+            let mut g = gpu();
+            g.enable_faults(
+                FaultPlan::seeded(seed)
+                    .with_launch_failures(0.3)
+                    .with_bit_flips(0.3)
+                    .with_transfer_corruption(0.3),
+            );
+            let mut last = Vec::new();
+            for round in 0..8 {
+                let src = g
+                    .alloc_from(&(0..64).map(|i| (i + round) as f32).collect::<Vec<_>>())
+                    .unwrap();
+                let dst = g.alloc(64).unwrap();
+                let cfg = LaunchConfig::new("copy", 2, 32);
+                let r = g.launch(
+                    &cfg,
+                    &[src],
+                    &[(dst, OutMode::Chunked { chunk: 32 })],
+                    |ctx, io| {
+                        let b = ctx.block_id as usize;
+                        for i in 0..32 {
+                            io.owned[0][i] = io.inputs[0][b * 32 + i];
+                        }
+                    },
+                );
+                if r.is_ok() {
+                    last = g.download(dst).unwrap();
+                }
+                g.free(src).unwrap();
+                g.free(dst).unwrap();
+            }
+            (g.take_fault_log().unwrap(), last)
+        };
+        let (log_a, x_a) = run(99);
+        let (log_b, x_b) = run(99);
+        assert_eq!(log_a, log_b);
+        assert!(log_a.injected() > 0, "campaign should have injected");
+        assert_eq!(x_a, x_b);
+        let (log_c, _) = run(100);
+        assert_ne!(log_a, log_c, "different seed, different campaign");
+    }
+
+    #[test]
+    fn advance_clock_is_monotonic() {
+        let mut g = gpu();
+        g.advance_clock(1.5e-3);
+        g.advance_clock(-1.0);
+        g.advance_clock(f64::NAN);
+        assert_eq!(g.elapsed_s(), 1.5e-3);
     }
 
     #[test]

@@ -113,6 +113,10 @@ impl std::fmt::Display for ValidationReport {
     }
 }
 
+// A rejected report is the cause of `CoreError::PlanRejected`, so it
+// participates in `source()` chains.
+impl std::error::Error for ValidationReport {}
+
 /// Estimate the occupancy (resident warps over the device's warp capacity)
 /// this configuration achieves on `q`. Returns `None` when the configuration
 /// has a fatal problem that makes the estimate meaningless.

@@ -35,6 +35,14 @@ pub struct MetricsReport {
     pub tuner_search_events: u64,
     /// Sanitizer hazard events present in the trace.
     pub hazards: u64,
+    /// Faults injected by the fault layer (`resilience`/`fault` instants).
+    pub faults: u64,
+    /// Retries performed by the resilience layer.
+    pub retries: u64,
+    /// Degradation-chain fallbacks performed by the resilience layer.
+    pub fallbacks: u64,
+    /// Residual verifications performed by the resilience layer.
+    pub residual_checks: u64,
     /// Host-to-device bytes moved.
     pub h2d_bytes: u64,
     /// Device-to-host bytes moved.
@@ -52,6 +60,10 @@ impl MetricsReport {
         let mut tuner_evals = 0;
         let mut tuner_search_events = 0;
         let mut hazards = 0;
+        let mut faults = 0;
+        let mut retries = 0;
+        let mut fallbacks = 0;
+        let mut residual_checks = 0;
         let mut h2d_bytes = 0;
         let mut d2h_bytes = 0;
 
@@ -85,6 +97,13 @@ impl MetricsReport {
                 "tuner" if ev.name == "eval" => tuner_evals += 1,
                 "tuner" => tuner_search_events += 1,
                 "sanitizer" => hazards += 1,
+                "resilience" => match ev.name.as_str() {
+                    "fault" => faults += 1,
+                    "retry" => retries += 1,
+                    "fallback" => fallbacks += 1,
+                    "residual" => residual_checks += 1,
+                    _ => {}
+                },
                 _ => {}
             }
         }
@@ -106,6 +125,10 @@ impl MetricsReport {
             tuner_evals,
             tuner_search_events,
             hazards,
+            faults,
+            retries,
+            fallbacks,
+            residual_checks,
             h2d_bytes,
             d2h_bytes,
             counters: counters
@@ -154,6 +177,13 @@ impl MetricsReport {
             self.tuner_search_events,
             self.hazards
         );
+        if self.faults + self.retries + self.fallbacks + self.residual_checks > 0 {
+            let _ = writeln!(
+                out,
+                "  resilience: {} faults injected | {} retries | {} fallbacks | {} residual checks",
+                self.faults, self.retries, self.fallbacks, self.residual_checks
+            );
+        }
         for (name, value) in &self.counters {
             let _ = writeln!(out, "  counter {name:<26} {value}");
         }
@@ -206,6 +236,11 @@ mod tests {
             instant(5, "tuner", "eval", Vec::new()),
             instant(6, "tuner", "probe", Vec::new()),
             instant(7, "sanitizer", "hazard", Vec::new()),
+            instant(8, "resilience", "fault", Vec::new()),
+            instant(9, "resilience", "retry", Vec::new()),
+            instant(10, "resilience", "retry", Vec::new()),
+            instant(11, "resilience", "fallback", Vec::new()),
+            instant(12, "resilience", "residual", Vec::new()),
         ];
         let report = MetricsReport::from_trace(&events, &[("launches", 3)]);
         assert_eq!(report.kernels.len(), 2);
@@ -217,6 +252,10 @@ mod tests {
         assert_eq!(report.tuner_evals, 1);
         assert_eq!(report.tuner_search_events, 1);
         assert_eq!(report.hazards, 1);
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.residual_checks, 1);
         assert_eq!(report.h2d_bytes, 4096);
         assert_eq!(report.d2h_bytes, 1024);
         assert_eq!(report.counters, vec![("launches".to_string(), 3)]);
@@ -224,5 +263,14 @@ mod tests {
         let table = report.render(1);
         assert!(table.contains("stage2"));
         assert!(table.contains("... 1 more families"));
+        assert!(table.contains("resilience: 1 faults injected | 2 retries"));
+    }
+
+    #[test]
+    fn resilience_line_absent_without_resilience_events() {
+        let events = vec![gpu_span(0, "base", 0.0, 1.0, 1, 1)];
+        let report = MetricsReport::from_trace(&events, &[]);
+        assert_eq!(report.faults + report.retries, 0);
+        assert!(!report.render(5).contains("resilience:"));
     }
 }

@@ -237,6 +237,110 @@ pub fn near_singular<T: Scalar>(shape: WorkloadShape, eps: f64) -> Result<System
     SystemBatch::new(shape.num_systems, n, a, b, c, d)
 }
 
+/// Ill-conditioned random systems with a tunable dominance `margin`.
+///
+/// Off-diagonals are uniformly random in `(-1, 1)` and each diagonal is
+/// `±(|a| + |c|)·(1 + margin)` — strictly dominant for any `margin > 0`, but
+/// only barely: the dominance excess shrinks with `margin`, and the condition
+/// number grows roughly like `O(1/margin)` (for the constant-coefficient
+/// analogue, `κ∞ ≈ 2/margin` as `margin → 0`). Typical chaos-testing values:
+///
+/// * `margin = 1.0` — comfortable, comparable to [`random_dominant`];
+/// * `margin = 1e-3` — `κ` in the thousands, f32 solves start losing digits;
+/// * `margin = 1e-6` — near the f32 cliff; f64 still resolves it.
+///
+/// Used by the chaos campaign to make residual verification do real work:
+/// a bit flip on a well-conditioned system can vanish into the noise floor,
+/// while here it is amplified by the conditioning.
+pub fn ill_conditioned<T: Scalar>(
+    shape: WorkloadShape,
+    seed: u64,
+    margin: f64,
+) -> Result<SystemBatch<T>> {
+    assert!(
+        margin > 0.0 && margin.is_finite(),
+        "dominance margin must be positive and finite"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let off = Uniform::new(-1.0f64, 1.0);
+    let rhs = Uniform::new(-1.0f64, 1.0);
+    let total = shape.total_equations();
+    let n = shape.system_size;
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    for s in 0..shape.num_systems {
+        for i in 0..n {
+            let idx = s * n + i;
+            let av = if i == 0 { 0.0 } else { off.sample(&mut rng) };
+            let cv = if i == n - 1 {
+                0.0
+            } else {
+                off.sample(&mut rng)
+            };
+            let sign = if idx.is_multiple_of(2) { 1.0 } else { -1.0 };
+            let bv = sign * (av.abs() + cv.abs()) * (1.0 + margin);
+            a[idx] = T::from_f64(av);
+            b[idx] = T::from_f64(bv);
+            c[idx] = T::from_f64(cv);
+            d[idx] = T::from_f64(rhs.sample(&mut rng));
+        }
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
+/// Random systems that deliberately *break* diagonal dominance.
+///
+/// Each diagonal is `±dominance·(|a| + |c|)`; `dominance < 1` makes every
+/// interior row non-dominant, so the pivot-free GPU stages can amplify
+/// rounding error or break down outright, while the pivoting CPU LU baseline
+/// still solves the system. `dominance ≥ 1` degenerates to (weak) dominance;
+/// the interesting chaos-testing range is roughly `0.5 ≤ dominance < 1`,
+/// below which systems become so wild that even f64 residual checks against
+/// the LU reference get noisy.
+pub fn non_dominant<T: Scalar>(
+    shape: WorkloadShape,
+    seed: u64,
+    dominance: f64,
+) -> Result<SystemBatch<T>> {
+    assert!(
+        dominance > 0.0 && dominance.is_finite(),
+        "dominance ratio must be positive and finite"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let off = Uniform::new(0.5f64, 1.0);
+    let rhs = Uniform::new(-1.0f64, 1.0);
+    let total = shape.total_equations();
+    let n = shape.system_size;
+
+    let mut a = vec![T::ZERO; total];
+    let mut b = vec![T::ZERO; total];
+    let mut c = vec![T::ZERO; total];
+    let mut d = vec![T::ZERO; total];
+    for s in 0..shape.num_systems {
+        for i in 0..n {
+            let idx = s * n + i;
+            // Off-diagonals bounded away from zero so `dominance` really is
+            // the row-wise ratio |b| / (|a| + |c|), not a vacuous bound.
+            let av = if i == 0 { 0.0 } else { off.sample(&mut rng) };
+            let cv = if i == n - 1 {
+                0.0
+            } else {
+                off.sample(&mut rng)
+            };
+            let sign = if idx.is_multiple_of(2) { 1.0 } else { -1.0 };
+            let bv = sign * dominance * (av.abs() + cv.abs());
+            a[idx] = T::from_f64(av);
+            b[idx] = T::from_f64(bv);
+            c[idx] = T::from_f64(cv);
+            d[idx] = T::from_f64(rhs.sample(&mut rng));
+        }
+    }
+    SystemBatch::new(shape.num_systems, n, a, b, c, d)
+}
+
 /// Extract a single [`TridiagonalSystem`] convenience generator (system 0 of a
 /// one-system batch) for examples and docs.
 pub fn single_random_dominant<T: Scalar>(n: usize, seed: u64) -> Result<TridiagonalSystem<T>> {
@@ -300,6 +404,44 @@ mod tests {
         assert!(!b.is_diagonally_dominant()); // strict dominance fails
         let b: SystemBatch<f64> = near_singular(WorkloadShape::new(1, 16), 0.5).unwrap();
         assert!(b.is_diagonally_dominant()); // a healthy margin restores it
+    }
+
+    #[test]
+    fn ill_conditioned_is_barely_dominant_and_reproducible() {
+        let shape = WorkloadShape::new(3, 48);
+        let b1: SystemBatch<f64> = ill_conditioned(shape, 9, 1e-3).unwrap();
+        let b2: SystemBatch<f64> = ill_conditioned(shape, 9, 1e-3).unwrap();
+        assert_eq!(b1, b2);
+        assert!(b1.is_diagonally_dominant(), "margin > 0 keeps dominance");
+        // The dominance excess really is tiny: every interior row's
+        // |b| / (|a| + |c|) sits at exactly 1 + margin.
+        let sys = b1.system(0).unwrap();
+        for i in 1..sys.len() - 1 {
+            let ratio = sys.b[i].abs() / (sys.a[i].abs() + sys.c[i].abs());
+            assert!((ratio - 1.001).abs() < 1e-9, "row {i} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn non_dominant_breaks_dominance_below_one() {
+        let shape = WorkloadShape::new(2, 32);
+        let b: SystemBatch<f64> = non_dominant(shape, 4, 0.8).unwrap();
+        assert!(!b.is_diagonally_dominant());
+        let sys = b.system(0).unwrap();
+        for i in 1..sys.len() - 1 {
+            let ratio = sys.b[i].abs() / (sys.a[i].abs() + sys.c[i].abs());
+            assert!((ratio - 0.8).abs() < 1e-9, "row {i} ratio {ratio}");
+        }
+        // Reproducible per seed.
+        let b2: SystemBatch<f64> = non_dominant(shape, 4, 0.8).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn stress_generators_reject_bad_knobs() {
+        let shape = WorkloadShape::new(1, 8);
+        assert!(std::panic::catch_unwind(|| ill_conditioned::<f64>(shape, 0, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| non_dominant::<f64>(shape, 0, -1.0)).is_err());
     }
 
     #[test]

@@ -43,6 +43,8 @@ else
     cargo run -q --release -p trisolve-bench --bin snapshot > "$out"
 fi
 
-# Sanity: the snapshot must be non-empty JSON with a devices array.
+# Sanity: the snapshot must be non-empty JSON with a devices array and
+# the resilience counters of the tuned solve.
 grep -q '"devices"' "$out"
+grep -q '"retries"' "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)"

@@ -27,6 +27,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "== kernel sanitizer smoke run =="
 cargo run -q --release --bin trisolve -- sanitize --quick
 
+echo "== chaos / resilience smoke run (nonzero exit on unrecovered case) =="
+cargo run -q --release --bin trisolve -- chaos --quick
+
 echo "== traced solve smoke run (chrome trace validates) =="
 trace_out="$(mktemp)"
 trap 'rm -f "$trace_out"' EXIT

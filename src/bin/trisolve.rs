@@ -6,6 +6,7 @@
 //! $ trisolve solve --device 470 --systems 64 --size 8192 --tuner dynamic
 //! $ trisolve tune  --device 280 --systems 16 --size 65536 --cache tuning.json
 //! $ trisolve compare --systems 1024 --size 1024
+//! $ trisolve chaos --quick
 //! ```
 //!
 //! Dependency-free argument parsing (`--key value` pairs after a
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
         "sanitize" => cmd_sanitize(&opts),
+        "chaos" => cmd_chaos(&opts),
         "sort" => cmd_sort(&opts),
         "fft" => cmd_fft(&opts),
         "quicksort" => cmd_quicksort(&opts),
@@ -75,6 +77,11 @@ USAGE:
                    (injected-hazard fixtures, then every shipping kernel
                     over the Figure 5-8 matrix under the dynamic sanitizer;
                     nonzero exit on any hazard or undetected fixture)
+  trisolve chaos   [--quick] [--device 8800|280|470] [--shrink K] [--seed S] [--json]
+                   (forced-fault fixtures, then a seeded fault-injection
+                    campaign over the Figure 5-8 matrix across dominant /
+                    ill-conditioned / non-dominant workloads; nonzero exit
+                    on any unrecovered case or failed fixture)
   trisolve sort    --len N [--device ...]     (SVI-C merge-sort demo)
   trisolve fft     --len N [--device ...]     (SVI-C four-step FFT demo)
   trisolve quicksort --len N [--device ...]   (SVII multi-stage quicksort demo)
@@ -484,6 +491,104 @@ fn cmd_sanitize(opts: &Opts) -> Result<(), String> {
     }
     if !dirty.is_empty() {
         return Err(format!("{} shipping case(s) produced hazards", dirty.len()));
+    }
+    Ok(())
+}
+
+fn cmd_chaos(opts: &Opts) -> Result<(), String> {
+    use trisolve::chaos;
+
+    let mut chaos_opts = if opts.contains_key("quick") {
+        chaos::ChaosOptions::quick()
+    } else {
+        chaos::ChaosOptions::full()
+    };
+    if opts.contains_key("device") {
+        chaos_opts.devices = vec![device(opts)?];
+    }
+    if opts.contains_key("shrink") {
+        chaos_opts.shrink = opt_usize(opts, "shrink")?.max(1);
+    }
+    if let Some(s) = opts.get("seed") {
+        chaos_opts.seed = s
+            .parse()
+            .map_err(|_| "--seed must be a number".to_string())?;
+    }
+
+    let fixtures = chaos::fixture_checks()?;
+    let cases = chaos::campaign(&chaos_opts)?;
+    let failed_fixtures: Vec<_> = fixtures.iter().filter(|f| !f.passed).collect();
+    let unrecovered: Vec<_> = cases.iter().filter(|c| !c.recovered).collect();
+    let faults: usize = cases.iter().map(|c| c.faults_injected).sum();
+    let retries: usize = cases.iter().map(|c| c.retries).sum();
+    let fallbacks: usize = cases.iter().map(|c| c.fallbacks).sum();
+
+    if json_flag(opts) {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "seed": chaos_opts.seed,
+                "fixtures": fixtures.iter().map(|f| serde_json::json!({
+                    "name": f.name, "passed": f.passed, "detail": f.detail,
+                })).collect::<Vec<_>>(),
+                "cases": cases.iter().map(|c| serde_json::json!({
+                    "label": c.label,
+                    "recovered": c.recovered,
+                    "recovered_by": c.recovered_by,
+                    "residual": c.residual,
+                    "vs_reference": c.vs_reference,
+                    "faults_injected": c.faults_injected,
+                    "attempts": c.attempts,
+                    "retries": c.retries,
+                    "fallbacks": c.fallbacks,
+                    "error": c.error,
+                })).collect::<Vec<_>>(),
+                "faults_injected": faults,
+                "retries": retries,
+                "fallbacks": fallbacks,
+                "all_recovered": failed_fixtures.is_empty() && unrecovered.is_empty(),
+            }))
+            .unwrap()
+        );
+    } else {
+        println!("fixture self-check (each forces one recovery mechanism):");
+        for f in &fixtures {
+            let mark = if f.passed { "passed" } else { "FAILED" };
+            println!("  [{mark:^8}] {:<52} {}", f.name, f.detail);
+        }
+        println!(
+            "\nfault campaign (seed {}, {} cases, {faults} faults injected):",
+            chaos_opts.seed,
+            cases.len()
+        );
+        for c in &cases {
+            if c.recovered {
+                println!(
+                    "  [recovered] {:<44} via {:<16} residual {:.1e}  \
+                     faults {} retries {} fallbacks {}",
+                    c.label, c.recovered_by, c.residual, c.faults_injected, c.retries, c.fallbacks
+                );
+            } else {
+                println!(
+                    "  [ DEAD    ] {:<44} {}",
+                    c.label,
+                    c.error.as_deref().unwrap_or("unknown failure")
+                );
+            }
+        }
+        println!("\ntotals: {faults} faults | {retries} retries | {fallbacks} fallbacks");
+    }
+    if !failed_fixtures.is_empty() {
+        return Err(format!(
+            "resilience layer failed its self-check: {} fixture(s)",
+            failed_fixtures.len()
+        ));
+    }
+    if !unrecovered.is_empty() {
+        return Err(format!(
+            "{} campaign case(s) did not recover",
+            unrecovered.len()
+        ));
     }
     Ok(())
 }

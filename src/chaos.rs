@@ -1,0 +1,443 @@
+//! The `trisolve chaos` harness: seeded fault-injection campaigns over the
+//! paper's workload matrix, proving the resilience layer (see
+//! [`trisolve_core::resilience`]) recovers every case — or fails loudly
+//! with a structured report.
+//!
+//! Two halves, mirroring the [`crate::sanitize`] harness:
+//!
+//! 1. **Fixture self-check** — forced fault scenarios each proving one
+//!    recovery mechanism end-to-end: a transient launch failure absorbed by
+//!    retries, persistent faults degrading all the way to the CPU LU
+//!    reference, a silent bit flip caught by residual verification, and —
+//!    the other direction — a *disabled* fault plan leaving results and
+//!    simulated timings bit-identical to a plain solve.
+//! 2. **Campaign sweep** — the resilient solve pipeline over the Figure 5–8
+//!    workload grid on the paper's devices, across three workload classes
+//!    (diagonally dominant, ill-conditioned, non-diagonally-dominant) under
+//!    a seeded [`FaultPlan`] mixing transient launch failures, kernel
+//!    timeouts, transfer corruption, ECC-style bit flips and spurious OOM.
+//!    Every case must come back recovered (residual-verified against the
+//!    policy tolerance, compared against the host pivoted-LU reference) or
+//!    the harness reports it as unrecovered.
+//!
+//! The harness is a library so the CI gate (`scripts/check.sh`), the
+//! integration tests and the CLI subcommand all run the same code.
+
+use trisolve_autotune::{StaticTuner, Tuner};
+use trisolve_core::engine::SolveSession;
+use trisolve_core::kernels::{elem_bytes, GpuScalar};
+use trisolve_core::{RecoveryAction, ResiliencePolicy, SolverParams};
+use trisolve_gpu_sim::{DeviceSpec, FaultLog, FaultPlan, Gpu};
+use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
+use trisolve_tridiag::workloads::{ill_conditioned, non_dominant, random_dominant, WorkloadShape};
+use trisolve_tridiag::SystemBatch;
+
+use crate::sanitize::shrunk_paper_grid;
+
+/// Base seed for campaign fault plans and workloads (the paper's
+/// publication year, like the bench and sanitize harnesses).
+pub const CHAOS_SEED: u64 = 2011;
+
+/// Attempts allowed for device-buffer allocation when the fault plan
+/// injects spurious OOM during session construction.
+const SESSION_ALLOC_ATTEMPTS: usize = 4;
+
+/// Outcome of one forced-fault fixture.
+#[derive(Debug, Clone)]
+pub struct FixtureOutcome {
+    /// Fixture name (which recovery mechanism it forces).
+    pub name: &'static str,
+    /// Did the resilience layer behave exactly as required?
+    pub passed: bool,
+    /// What happened (recovery narrative or why the check failed).
+    pub detail: String,
+}
+
+/// Outcome of one campaign case.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Human-readable case label (device, workload, precision, class).
+    pub label: String,
+    /// Did the resilient solve produce an accepted solution?
+    pub recovered: bool,
+    /// Which degradation-chain step won (empty when unrecovered).
+    pub recovered_by: String,
+    /// Verified worst relative residual of the accepted solution.
+    pub residual: f64,
+    /// Max-norm relative deviation from the host pivoted-LU reference
+    /// solution (informational: grows with the condition number even for
+    /// perfectly recovered solves).
+    pub vs_reference: f64,
+    /// Faults the injector actually fired during the case.
+    pub faults_injected: usize,
+    /// Total solve attempts, the accepted one included.
+    pub attempts: usize,
+    /// Re-attempts after transient faults or rejected residuals.
+    pub retries: usize,
+    /// Degradation-chain steps abandoned before the accepted one.
+    pub fallbacks: usize,
+    /// The failure, for unrecovered cases.
+    pub error: Option<String>,
+}
+
+/// Options for the campaign sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Devices to sweep (defaults to all three paper devices).
+    pub devices: Vec<DeviceSpec>,
+    /// Linear shrink applied to the paper's workload grid so the sweep
+    /// stays fast; 1 = the full Figure 5–8 sizes.
+    pub shrink: usize,
+    /// Sweep f32 as well as f64.
+    pub both_precisions: bool,
+    /// Base seed for per-case fault plans and workloads.
+    pub seed: u64,
+}
+
+impl ChaosOptions {
+    /// The full matrix: all devices, both precisions, moderately shrunk.
+    pub fn full() -> Self {
+        Self {
+            devices: DeviceSpec::paper_devices(),
+            shrink: 8,
+            both_precisions: true,
+            seed: CHAOS_SEED,
+        }
+    }
+
+    /// The CI smoke matrix: one device, f64 only, heavily shrunk.
+    pub fn quick() -> Self {
+        Self {
+            devices: vec![DeviceSpec::gtx_470()],
+            shrink: 16,
+            both_precisions: false,
+            seed: CHAOS_SEED,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture self-check
+// ---------------------------------------------------------------------------
+
+/// A device with the fixture's fault plan armed, a prepared session, and
+/// the workload the fixtures drive.
+type FixtureRig = (Gpu<f64>, SolveSession<f64>, SystemBatch<f64>);
+
+fn fixture_setup(plan: FaultPlan) -> Result<FixtureRig, String> {
+    let shape = WorkloadShape::new(4, 512);
+    let batch = random_dominant::<f64>(shape, 42).map_err(|e| e.to_string())?;
+    let mut gpu: Gpu<f64> = Gpu::with_faults(DeviceSpec::gtx_470(), plan);
+    let session = SolveSession::new(&mut gpu, shape).map_err(|e| e.to_string())?;
+    Ok((gpu, session, batch))
+}
+
+fn retry_fixture() -> Result<FixtureOutcome, String> {
+    // Exactly two forced launch failures: the retry budget (2) absorbs
+    // them and the tuned plan still wins.
+    let plan = FaultPlan::seeded(7)
+        .with_launch_failures(1.0)
+        .with_max_faults(2);
+    let (mut gpu, mut session, batch) = fixture_setup(plan)?;
+    let params = SolverParams::default_untuned();
+    let policy = ResiliencePolicy::for_elem_bytes(8);
+    let r = session
+        .solve_resilient(&mut gpu, &batch, &params, &policy)
+        .map_err(|e| e.to_string())?;
+    let passed = r.recovered_by == "tuned-plan" && r.retries == 2 && r.fallbacks == 0;
+    Ok(FixtureOutcome {
+        name: "transient launch failures absorbed by retries",
+        passed,
+        detail: format!(
+            "recovered by `{}` after {} retries, residual {:.3e}",
+            r.recovered_by, r.retries, r.residual
+        ),
+    })
+}
+
+fn degradation_fixture() -> Result<FixtureOutcome, String> {
+    // Unbounded forced launch failures: no GPU plan can run; the chain
+    // must walk all the way down to the CPU LU reference.
+    let plan = FaultPlan::seeded(3).with_launch_failures(1.0);
+    let (mut gpu, mut session, batch) = fixture_setup(plan)?;
+    let params = SolverParams::default_untuned();
+    let policy = ResiliencePolicy::for_elem_bytes(8);
+    let r = session
+        .solve_resilient(&mut gpu, &batch, &params, &policy)
+        .map_err(|e| e.to_string())?;
+    let passed = r.recovered_by == "cpu-reference" && r.fallbacks >= 1;
+    Ok(FixtureOutcome {
+        name: "persistent faults degrade to the CPU reference",
+        passed,
+        detail: format!(
+            "recovered by `{}` after {} fallbacks / {} attempts, residual {:.3e}",
+            r.recovered_by, r.fallbacks, r.attempts, r.residual
+        ),
+    })
+}
+
+fn bit_flip_fixture() -> Result<FixtureOutcome, String> {
+    // Seed 0 deterministically lands its single budgeted flip on a bit
+    // that pushes the residual over tolerance; the check must reject the
+    // corrupted attempt and the clean retry must win. (Seeds whose flip
+    // hits a low-order mantissa bit are accepted outright — correctly so;
+    // that is why the fixture pins the seed.)
+    let plan = FaultPlan::seeded(0).with_bit_flips(1.0).with_max_faults(1);
+    let (mut gpu, mut session, batch) = fixture_setup(plan)?;
+    let params = SolverParams::default_untuned();
+    let policy = ResiliencePolicy::for_elem_bytes(8);
+    let r = session
+        .solve_resilient(&mut gpu, &batch, &params, &policy)
+        .map_err(|e| e.to_string())?;
+    let rejected = r
+        .events
+        .iter()
+        .any(|e| e.action == RecoveryAction::ResidualReject);
+    let passed = rejected && r.retries == 1 && r.residual <= policy.residual_tolerance;
+    Ok(FixtureOutcome {
+        name: "silent bit flip caught by residual verification",
+        passed,
+        detail: format!(
+            "corrupted attempt rejected: {rejected}; final residual {:.3e} after {} retries",
+            r.residual, r.retries
+        ),
+    })
+}
+
+fn disabled_plan_fixture() -> Result<FixtureOutcome, String> {
+    // The no-op contract, from the harness's own angle: a disabled fault
+    // plan plus the resilience wrapper must reproduce the plain solve
+    // bit-for-bit, simulated timings included.
+    let params = SolverParams::default_untuned();
+    let policy = ResiliencePolicy::for_elem_bytes(8);
+    let (mut gpu, mut session, batch) = fixture_setup(FaultPlan::disabled())?;
+    let r = session
+        .solve_resilient(&mut gpu, &batch, &params, &policy)
+        .map_err(|e| e.to_string())?;
+
+    let shape = WorkloadShape::new(4, 512);
+    let mut plain_gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+    let mut plain_session = SolveSession::new(&mut plain_gpu, shape).map_err(|e| e.to_string())?;
+    let plain = plain_session
+        .solve(&mut plain_gpu, &batch, &params)
+        .map_err(|e| e.to_string())?;
+
+    let bits_equal = plain.x == r.outcome.x
+        && plain.sim_time_s.to_bits() == r.outcome.sim_time_s.to_bits()
+        && plain_gpu.elapsed_s().to_bits() == gpu.elapsed_s().to_bits();
+    let passed = bits_equal && r.first_try() && gpu.fault_log().is_none();
+    Ok(FixtureOutcome {
+        name: "disabled fault plan is bit-identical to a plain solve",
+        passed,
+        detail: format!(
+            "bit-identical: {bits_equal}; first try: {}; injector attached: {}",
+            r.first_try(),
+            gpu.fault_log().is_some()
+        ),
+    })
+}
+
+/// Run the four forced-fault fixtures. Each proves one recovery mechanism
+/// (or the no-op contract) end-to-end; a harness that cannot pass its own
+/// fixtures proves nothing about the campaign.
+pub fn fixture_checks() -> Result<Vec<FixtureOutcome>, String> {
+    Ok(vec![
+        retry_fixture()?,
+        degradation_fixture()?,
+        bit_flip_fixture()?,
+        disabled_plan_fixture()?,
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Campaign sweep
+// ---------------------------------------------------------------------------
+
+/// The three workload classes the campaign stresses.
+const CLASSES: &[&str] = &["dominant", "ill-conditioned", "non-dominant"];
+
+fn class_batch<T: GpuScalar>(
+    class: &str,
+    shape: WorkloadShape,
+    seed: u64,
+) -> Result<SystemBatch<T>, String> {
+    match class {
+        "dominant" => random_dominant(shape, seed),
+        // margin 1e-3: condition number in the thousands — the GPU's
+        // pivot-free splitting loses accuracy here and residual
+        // verification has real work to do.
+        "ill-conditioned" => ill_conditioned(shape, seed, 1e-3),
+        // dominance 0.85: every interior row breaks dominance, the class
+        // the paper's algorithm does not guarantee — recovery may have to
+        // reach the pivoted-LU CPU reference.
+        "non-dominant" => non_dominant(shape, seed, 0.85),
+        other => return Err(format!("unknown workload class `{other}`")),
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// Residual acceptance threshold per class and element width. Dominant
+/// systems use the standard precision-matched tolerance; the stress
+/// classes get headroom proportional to their conditioning (LU stays
+/// backward-stable, so these remain far below "garbage" residuals).
+fn class_tolerance(class: &str, elem_bytes: usize) -> f64 {
+    match (class, elem_bytes) {
+        ("dominant", b) if b <= 4 => 1e-4,
+        ("dominant", _) => 1e-8,
+        (_, b) if b <= 4 => 1e-2,
+        (_, _) => 1e-6,
+    }
+}
+
+/// The seeded fault mix every campaign case runs under: mostly-transient
+/// launch faults plus occasional silent corruption, capped so a case sees
+/// a handful of faults rather than an unbounded storm.
+fn campaign_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_launch_failures(0.08)
+        .with_kernel_timeouts(0.02)
+        .with_transfer_corruption(0.03)
+        .with_bit_flips(0.03)
+        .with_alloc_failures(0.02)
+        .with_max_faults(8)
+}
+
+/// Max-norm relative deviation of `x` from the reference solution.
+fn deviation_from<T: GpuScalar>(x: &[T], reference: &[T]) -> f64 {
+    let mut worst = 0.0f64;
+    let mut scale = 0.0f64;
+    for (xi, ri) in x.iter().zip(reference) {
+        worst = worst.max((xi.to_f64() - ri.to_f64()).abs());
+        scale = scale.max(ri.to_f64().abs());
+    }
+    if scale > 0.0 {
+        worst / scale
+    } else {
+        worst
+    }
+}
+
+/// One campaign case: build the workload, arm the injector, solve
+/// resiliently, compare against the host LU reference.
+fn run_case<T: GpuScalar>(
+    dev: &DeviceSpec,
+    shape: WorkloadShape,
+    class: &str,
+    precision: &str,
+    case_seed: u64,
+) -> Result<ChaosCase, String> {
+    let label = format!("{} {} {} {}", dev.name(), shape.label(), precision, class);
+    let batch = class_batch::<T>(class, shape, case_seed)?;
+    let reference =
+        solve_batch_sequential(&batch, BatchAlgorithm::Lu).map_err(|e| e.to_string())?;
+    let params = StaticTuner.params_for(shape, dev.queryable(), elem_bytes::<T>());
+    let policy = ResiliencePolicy::for_elem_bytes(elem_bytes::<T>())
+        .with_residual_tolerance(class_tolerance(class, elem_bytes::<T>()));
+
+    let mut gpu: Gpu<T> = Gpu::with_faults(dev.clone(), campaign_plan(case_seed));
+
+    // Session construction allocates device buffers, so an injected OOM
+    // can land here too; give it the same bounded-retry treatment the
+    // solve path gets.
+    let mut session = None;
+    let mut last = String::new();
+    for _ in 0..SESSION_ALLOC_ATTEMPTS {
+        match SolveSession::new(&mut gpu, shape) {
+            Ok(s) => {
+                session = Some(s);
+                break;
+            }
+            Err(e) if e.is_transient() => last = e.to_string(),
+            Err(e) => return Err(format!("{label}: {e}")),
+        }
+    }
+    let Some(mut session) = session else {
+        return Err(format!(
+            "{label}: session allocation never recovered: {last}"
+        ));
+    };
+
+    let case = match session.solve_resilient(&mut gpu, &batch, &params, &policy) {
+        Ok(r) => ChaosCase {
+            label,
+            recovered: true,
+            recovered_by: r.recovered_by.to_string(),
+            residual: r.residual,
+            vs_reference: deviation_from(&r.outcome.x, &reference),
+            faults_injected: gpu.fault_log().map_or(0, FaultLog::injected),
+            attempts: r.attempts,
+            retries: r.retries,
+            fallbacks: r.fallbacks,
+            error: None,
+        },
+        Err(e) => ChaosCase {
+            label,
+            recovered: false,
+            recovered_by: String::new(),
+            residual: f64::NAN,
+            vs_reference: f64::NAN,
+            faults_injected: gpu.fault_log().map_or(0, FaultLog::injected),
+            attempts: 0,
+            retries: 0,
+            fallbacks: 0,
+            error: Some(e.to_string()),
+        },
+    };
+    Ok(case)
+}
+
+fn sweep_device<T: GpuScalar>(
+    dev: &DeviceSpec,
+    shapes: &[WorkloadShape],
+    precision: &str,
+    base_seed: u64,
+    case_idx: &mut u64,
+    out: &mut Vec<ChaosCase>,
+) -> Result<(), String> {
+    for &shape in shapes {
+        for class in CLASSES {
+            let seed = base_seed.wrapping_add(*case_idx);
+            *case_idx += 1;
+            out.push(run_case::<T>(dev, shape, class, precision, seed)?);
+        }
+    }
+    Ok(())
+}
+
+/// Run the campaign sweep. Every returned case says whether the resilient
+/// pipeline recovered it; unrecovered cases carry the structured failure.
+pub fn campaign(opts: &ChaosOptions) -> Result<Vec<ChaosCase>, String> {
+    let shapes = shrunk_paper_grid(opts.shrink);
+    let mut out = Vec::new();
+    let mut case_idx = 0u64;
+    for dev in &opts.devices {
+        sweep_device::<f64>(dev, &shapes, "f64", opts.seed, &mut case_idx, &mut out)?;
+        if opts.both_precisions {
+            sweep_device::<f32>(dev, &shapes, "f32", opts.seed, &mut case_idx, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_pass() {
+        for f in fixture_checks().unwrap() {
+            assert!(f.passed, "{}: {}", f.name, f.detail);
+        }
+    }
+
+    #[test]
+    fn class_tolerances_are_ordered() {
+        for b in [4usize, 8] {
+            assert!(class_tolerance("dominant", b) < class_tolerance("ill-conditioned", b));
+            assert_eq!(
+                class_tolerance("ill-conditioned", b),
+                class_tolerance("non-dominant", b)
+            );
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //!   multi-stage merge sort);
 //! * [`sanitize`] — the `trisolve sanitize` harness: injected-hazard
 //!   fixtures plus the shipping-kernel sweep under the dynamic sanitizer;
+//! * [`chaos`] — the `trisolve chaos` harness: forced-fault fixtures plus
+//!   seeded fault-injection campaigns proving the resilience layer
+//!   (retries, residual verification, graceful degradation to CPU)
+//!   recovers the paper's workload matrix;
 //! * [`obs`] — the unified tracing & metrics layer: per-launch spans on the
 //!   simulated clock, tuner-search telemetry, Chrome-trace/JSONL export.
 //!
@@ -46,6 +50,7 @@
 //! println!("solved in {:.3} simulated ms", outcome.sim_time_ms());
 //! ```
 
+pub mod chaos;
 pub mod sanitize;
 
 pub use trisolve_autotune as autotune;
@@ -62,10 +67,10 @@ pub mod prelude {
         TuningCache,
     };
     pub use trisolve_core::{
-        solve_batch_on_gpu, Backend, BaseVariant, CpuBackend, GpuBackend, SolveOutcome, SolvePlan,
-        SolveSession, SolverParams, StageTimeline,
+        solve_batch_on_gpu, Backend, BaseVariant, CpuBackend, GpuBackend, ResiliencePolicy,
+        ResilientOutcome, SolveOutcome, SolvePlan, SolveSession, SolverParams, StageTimeline,
     };
-    pub use trisolve_gpu_sim::{CpuSpec, DeviceSpec, Gpu, QueryableProps};
+    pub use trisolve_gpu_sim::{CpuSpec, DeviceSpec, FaultPlan, Gpu, QueryableProps};
     pub use trisolve_obs::{chrome_trace, jsonl, MetricsReport, TraceEvent, Tracer};
     pub use trisolve_tridiag::norms::{batch_worst_relative_residual, relative_residual};
     pub use trisolve_tridiag::workloads::{
