@@ -1,0 +1,199 @@
+//! Bank-conflict counting and coalescing classification.
+//!
+//! These are *models*, not queries: the paper's Table II asymmetry means
+//! a program can read the warp size but not the number of shared-memory
+//! banks or the memory transaction size. The analyzer therefore models
+//! the bank count as `warp_size` (true on every device generation the
+//! paper covers) and the transaction size as the documented constant
+//! [`ANALYZER_TXN_BYTES`]. The predictions are validated empirically:
+//! the auto-tuner's measured layout winner is compared against
+//! [`predict_variant`] by the `trisolve analyze` sweep.
+
+use serde::Serialize;
+use trisolve_core::kernels::access::KernelAccessSummary;
+use trisolve_core::BaseVariant;
+use trisolve_gpu_sim::QueryableProps;
+
+/// Modeled global-memory transaction size in bytes.
+///
+/// Not queryable at runtime (Table II); 32 bytes is the smallest segment
+/// size on the paper's three devices and the value the strided-layout
+/// cost argument in `kernels::base` is written against: a warp touching
+/// elements `stride` apart issues one transaction per
+/// `max(1, txn / (stride * elem_bytes))`-element group.
+pub const ANALYZER_TXN_BYTES: usize = 32;
+
+/// Coalescing classification of one warp-level global access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CoalesceClass {
+    /// All lanes read the same address — a single transaction.
+    Broadcast,
+    /// Consecutive lanes touch addresses within one transaction span;
+    /// the hardware merges them into the minimal transaction set.
+    Coalesced,
+    /// Lanes are spread further than a transaction; every lane pays for
+    /// its own transaction.
+    Strided {
+        /// Element distance between consecutive lanes.
+        stride: usize,
+    },
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Worst-case shared-memory bank-conflict degree of a warp access with
+/// the given element stride between consecutive lanes.
+///
+/// The bank count is modeled as `warp_size` banks of 32-bit words;
+/// `elem_bytes` wider than a word multiplies the effective word stride
+/// (an f64 access is two word accesses — at best 2-way conflicted).
+/// Stride 0 is a broadcast and conflict-free by hardware rule.
+pub fn bank_conflict_degree(stride_elems: usize, elem_bytes: usize, warp_size: usize) -> usize {
+    if stride_elems == 0 || warp_size == 0 {
+        return 1;
+    }
+    let word_factor = (elem_bytes / 4).max(1);
+    let stride_words = stride_elems * word_factor;
+    let banks = warp_size;
+    let distinct = banks / gcd(stride_words, banks);
+    let lanes = warp_size.min(banks);
+    lanes.div_ceil(distinct).max(word_factor)
+}
+
+/// Classify a warp-level global access by its inter-lane element stride.
+pub fn classify_access(stride_elems: usize, elem_bytes: usize) -> CoalesceClass {
+    if stride_elems == 0 {
+        return CoalesceClass::Broadcast;
+    }
+    let span_cap = (ANALYZER_TXN_BYTES / elem_bytes.max(1)).max(1);
+    if stride_elems <= span_cap {
+        CoalesceClass::Coalesced
+    } else {
+        CoalesceClass::Strided {
+            stride: stride_elems,
+        }
+    }
+}
+
+/// Predict the winning base-kernel layout for a chain stride.
+///
+/// The strided gather touches elements `stride` apart; once the stride
+/// exceeds one transaction span (`ANALYZER_TXN_BYTES / elem_bytes`) each
+/// lane pays a full transaction and the repack-to-coalesced layout moves
+/// strictly fewer bytes. At or below the span the coalesced layout moves
+/// the same bytes with merged transactions, so repacking cannot lose.
+/// This mirrors the transaction pricing in `kernels::base` (see its
+/// `variants_price_the_load_differently` test) without reading hidden
+/// timing properties.
+pub fn predict_variant(stride: usize, elem_bytes: usize) -> BaseVariant {
+    let span_cap = (ANALYZER_TXN_BYTES / elem_bytes.max(1)).max(1);
+    if stride > span_cap {
+        BaseVariant::Strided
+    } else {
+        BaseVariant::Coalesced
+    }
+}
+
+/// Worst-case bank-conflict degree of one shared-memory access site.
+#[derive(Debug, Clone, Serialize)]
+pub struct BankSummary {
+    /// Access-site label, e.g. `"base::pcr_read"`.
+    pub site: &'static str,
+    /// Barrier-interval label the access executes in.
+    pub interval: String,
+    /// Worst-case serialization factor (1 = conflict-free).
+    pub degree: usize,
+}
+
+/// Bank-conflict degrees for every shared-memory access of a kernel.
+///
+/// Reads only `q.warp_size` from the device — the bank count itself is
+/// modeled, per the module docs.
+pub fn kernel_bank_summaries(
+    summary: &KernelAccessSummary,
+    q: &QueryableProps,
+    elem_bytes: usize,
+) -> Vec<BankSummary> {
+    summary
+        .intervals
+        .iter()
+        .flat_map(|iv| {
+            iv.accesses.iter().map(|a| BankSummary {
+                site: a.site,
+                interval: iv.label.clone(),
+                degree: bank_conflict_degree(a.thread_coeff, elem_bytes, q.warp_size),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_core::kernels::access::repack_access_summary;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn padded_tile_is_conflict_free() {
+        // The 32x33 transpose tile: column reads have word stride 33,
+        // coprime to any power-of-two bank count.
+        assert_eq!(bank_conflict_degree(33, 4, 32), 1);
+        assert_eq!(bank_conflict_degree(33, 4, 16), 1);
+        // Without the pad the column read would be fully serialized.
+        assert_eq!(bank_conflict_degree(32, 4, 32), 32);
+    }
+
+    #[test]
+    fn pow2_cr_strides_escalate() {
+        let degrees: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&s| bank_conflict_degree(s, 4, 32))
+            .collect();
+        assert_eq!(degrees, vec![1, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn f64_accesses_are_at_best_two_way() {
+        assert_eq!(bank_conflict_degree(1, 8, 32), 2);
+        assert_eq!(bank_conflict_degree(0, 8, 32), 1); // broadcast stays free
+    }
+
+    #[test]
+    fn classification_matches_transaction_span() {
+        assert_eq!(classify_access(0, 4), CoalesceClass::Broadcast);
+        assert_eq!(classify_access(1, 4), CoalesceClass::Coalesced);
+        assert_eq!(classify_access(8, 4), CoalesceClass::Coalesced); // 8*4 == 32
+        assert_eq!(
+            classify_access(16, 4),
+            CoalesceClass::Strided { stride: 16 }
+        );
+    }
+
+    #[test]
+    fn variant_prediction_matches_base_kernel_pricing() {
+        // base.rs's variants_price_the_load_differently: stride 8 in f64
+        // makes the strided gather cheaper than loading via repack.
+        assert_eq!(predict_variant(8, 8), BaseVariant::Strided);
+        // Within one transaction span the coalesced layout cannot lose.
+        assert_eq!(predict_variant(2, 4), BaseVariant::Coalesced);
+        assert_eq!(predict_variant(1, 8), BaseVariant::Coalesced);
+    }
+
+    #[test]
+    fn repack_tile_summaries_reflect_the_pad() {
+        let dev = DeviceSpec::gtx_470();
+        let s = repack_access_summary(4, 2048, 4);
+        let banks = kernel_bank_summaries(&s, dev.queryable(), 4);
+        let store = banks.iter().find(|b| b.site == "repack::tile_store");
+        let load = banks.iter().find(|b| b.site == "repack::tile_load");
+        assert_eq!(store.map(|b| b.degree), Some(1));
+        assert_eq!(load.map(|b| b.degree), Some(1));
+    }
+}

@@ -1,0 +1,54 @@
+//! Static kernel & plan analyzer.
+//!
+//! Abstract interpretation over the five kernel families of
+//! `trisolve-core` (`base`, `stage1`, `stage2`, `repack`, `baselines`):
+//! every [`StageOp`](trisolve_core::StageOp) contributes an affine
+//! *access summary* ([`trisolve_core::kernels::access`]) — global and
+//! shared index sets as functions of `system_size`, `num_systems`,
+//! grid/block dimensions and PCR step — from which this crate statically
+//! proves, for any `(device, plan, size)` point and without executing a
+//! single simulated instruction:
+//!
+//! * **(a) OOB-freedom** of every global and shared access
+//!   ([`proof::prove_kernel`]);
+//! * **(b) inter-barrier race-freedom** of shared-memory writes, using
+//!   the barrier-interval choreography each summary carries;
+//! * **(c) per-warp bank-conflict degrees** and a **coalescing
+//!   classification** predicting the Strided-vs-Coalesced layout winner
+//!   ([`conflict`]);
+//! * **(d) plan-level lints** — switch-point monotonicity, dead or
+//!   unreachable stages, and a shared-memory budget proof across all
+//!   power-of-two sizes per device ([`lints`]).
+//!
+//! The verdicts feed two consumers: `autotune`'s micro-benchmark harness
+//! prunes provably-invalid candidates via [`statically_rejected`] and
+//! [`prune::prune_onchip_axis`] before spending any simulated timing,
+//! and the `trisolve analyze` subcommand sweeps the paper's fig5–8
+//! matrix and exits nonzero on any unproven case. The dynamic sanitizer
+//! (`gpu-sim::sanitizer`, DESIGN.md §3.6) is the ground truth the
+//! analyzer is cross-validated against: a statically-certified case that
+//! produces a dynamic hazard is a soundness bug, and the cross-validation
+//! mode fails loudly on it.
+//!
+//! Like `gpu-sim::validate`, the analyzer reads only
+//! [`QueryableProps`](trisolve_gpu_sim::QueryableProps) — the paper's
+//! Table II information asymmetry is preserved: bank counts and
+//! transaction sizes are *modeled* (documented constants), never read
+//! from the hidden timing properties.
+
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod lints;
+pub mod proof;
+pub mod prune;
+pub mod report;
+
+pub use conflict::{
+    bank_conflict_degree, classify_access, predict_variant, BankSummary, CoalesceClass,
+    ANALYZER_TXN_BYTES,
+};
+pub use lints::{lint_plan, smem_budget_obligation, Lint, LintLevel};
+pub use proof::{prove_kernel, KernelProof, Obligation};
+pub use prune::{prune_onchip_axis, OnchipPrune, ONCHIP_SEARCH_CEILING};
+pub use report::{analyze_params, analyze_plan, statically_rejected, AnalysisReport};

@@ -1,0 +1,318 @@
+//! Whole-plan analysis reports and the tuner-facing rejection predicate.
+
+use serde::Serialize;
+use trisolve_core::{BaseVariant, SolvePlan, SolverParams, StageOp};
+use trisolve_gpu_sim::QueryableProps;
+use trisolve_tridiag::workloads::WorkloadShape;
+
+use crate::conflict::{kernel_bank_summaries, predict_variant, BankSummary};
+use crate::lints::{lint_plan, smem_budget_obligation, Lint, LintLevel};
+use crate::proof::{prove_kernel, KernelProof, Obligation};
+
+/// The complete static verdict on one `(device, plan)` point.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// Workload + device label, e.g. `"1024x1024 on GeForce GTX 470"`.
+    pub label: String,
+    /// The plan's one-line summary.
+    pub plan_summary: String,
+    /// Sites of fatal launch-validation diagnostics (empty = admissible).
+    pub validation_errors: Vec<String>,
+    /// Plan-level lints (structural errors and advice).
+    pub lints: Vec<Lint>,
+    /// Per-kernel proof records, in launch order.
+    pub proofs: Vec<KernelProof>,
+    /// Worst-case bank-conflict degrees of every shared-memory site.
+    pub banks: Vec<BankSummary>,
+    /// The all-sizes shared-memory budget proof for the plan's params.
+    pub budget: Obligation,
+    /// The layout the conflict model predicts for the base kernel's
+    /// stride, next to the layout the plan actually uses.
+    pub predicted_variant: BaseVariant,
+    /// The layout the plan schedules.
+    pub planned_variant: BaseVariant,
+}
+
+impl AnalysisReport {
+    /// True when every proof discharged: the plan is admissible, lint-
+    /// error-free, OOB-free, race-free and within the all-sizes budget.
+    ///
+    /// Advisory lints, bank-conflict degrees and a variant-prediction
+    /// mismatch do **not** block certification — they are performance
+    /// observations, not safety facts.
+    pub fn certified(&self) -> bool {
+        self.validation_errors.is_empty()
+            && self.lints.iter().all(|l| l.level != LintLevel::Error)
+            && self.proofs.iter().all(KernelProof::proven)
+            && self.budget.proven
+    }
+
+    /// Every failed proof, lint error and validation site, flattened to
+    /// printable strings. Empty iff [`Self::certified`].
+    pub fn failures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .validation_errors
+            .iter()
+            .map(|s| format!("launch refused: {s}"))
+            .collect();
+        out.extend(
+            self.lints
+                .iter()
+                .filter(|l| l.level == LintLevel::Error)
+                .map(|l| format!("lint [{}]: {}", l.code, l.message)),
+        );
+        for p in &self.proofs {
+            out.extend(
+                p.failures()
+                    .map(|o| format!("{}: {} ({})", p.label, o.name, o.detail)),
+            );
+        }
+        if !self.budget.proven {
+            out.push(format!("smem-budget: {}", self.budget.detail));
+        }
+        out
+    }
+
+    /// Total obligations checked across all kernels (plus the budget).
+    pub fn obligations_checked(&self) -> usize {
+        1 + self
+            .proofs
+            .iter()
+            .map(|p| p.obligations.len())
+            .sum::<usize>()
+    }
+
+    /// Worst bank-conflict degree across every shared-memory site.
+    pub fn worst_bank_degree(&self) -> usize {
+        self.banks.iter().map(|b| b.degree).max().unwrap_or(1)
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut lines = vec![format!(
+            "{}: {} — {}",
+            self.label,
+            self.plan_summary,
+            if self.certified() {
+                "CERTIFIED"
+            } else {
+                "UNPROVEN"
+            }
+        )];
+        lines.push(format!(
+            "  {} obligations, worst bank degree {}, predicted {:?} (planned {:?})",
+            self.obligations_checked(),
+            self.worst_bank_degree(),
+            self.predicted_variant,
+            self.planned_variant,
+        ));
+        for f in self.failures() {
+            lines.push(format!("  FAIL {f}"));
+        }
+        for l in self.lints.iter().filter(|l| l.level == LintLevel::Advice) {
+            lines.push(format!("  advice [{}]: {}", l.code, l.message));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Analyze a built plan on a device: validation, lints, per-kernel
+/// proofs, bank-conflict degrees and the all-sizes budget proof.
+pub fn analyze_plan(plan: &SolvePlan, q: &QueryableProps, elem_bytes: usize) -> AnalysisReport {
+    let validation = plan.validate(q, elem_bytes);
+    let validation_errors: Vec<String> = validation
+        .errors()
+        .map(trisolve_gpu_sim::Diagnostic::site)
+        .collect();
+    let lints = lint_plan(plan);
+
+    let summaries = plan.access_summaries();
+    let configs = plan.launch_configs(elem_bytes);
+    let proofs: Vec<KernelProof> = summaries
+        .iter()
+        .zip(&configs)
+        .map(|(s, cfg)| prove_kernel(s, cfg, elem_bytes))
+        .collect();
+    let banks: Vec<BankSummary> = summaries
+        .iter()
+        .flat_map(|s| kernel_bank_summaries(s, q, elem_bytes))
+        .collect();
+    let budget = smem_budget_obligation(&plan.params, q, elem_bytes);
+
+    let (base_stride, planned_variant) = plan
+        .ops
+        .iter()
+        .find_map(|op| match *op {
+            StageOp::BaseSolve {
+                stride, variant, ..
+            } => Some((stride, variant)),
+            _ => None,
+        })
+        .unwrap_or((1, plan.params.variant));
+
+    AnalysisReport {
+        label: format!("{} on {}", plan.shape.label(), q.name),
+        plan_summary: plan.summary(),
+        validation_errors,
+        lints,
+        proofs,
+        banks,
+        budget,
+        predicted_variant: predict_variant(base_stride, elem_bytes),
+        planned_variant,
+    }
+}
+
+/// Build the plan for `(shape, params)` and analyze it. A plan the
+/// builder itself rejects yields the builder's error.
+pub fn analyze_params(
+    shape: WorkloadShape,
+    params: &SolverParams,
+    q: &QueryableProps,
+    elem_bytes: usize,
+) -> trisolve_core::Result<AnalysisReport> {
+    let plan = SolvePlan::build(shape, params, q, elem_bytes)?;
+    Ok(analyze_plan(&plan, q, elem_bytes))
+}
+
+/// The tuner-facing rejection predicate: `Some(reason)` iff the
+/// execution engine's `SolveSession::plan_for` would refuse this
+/// candidate without running a single kernel.
+///
+/// This mirrors `plan_for` *exactly* — plan construction
+/// ([`SolvePlan::build`]) failing, or the built plan carrying a fatal
+/// launch-validation diagnostic (`CoreError::PlanRejected`) — and
+/// nothing else, so pruning on it cannot change which candidates the
+/// tuner's cost function prices finitely, only *when* the `+inf` is
+/// known. That is the bit-identical-output guarantee the auto-tuner's
+/// pruning hook relies on.
+pub fn statically_rejected(
+    shape: WorkloadShape,
+    params: &SolverParams,
+    q: &QueryableProps,
+    elem_bytes: usize,
+) -> Option<String> {
+    let plan = match SolvePlan::build(shape, params, q, elem_bytes) {
+        Ok(plan) => plan,
+        Err(e) => return Some(format!("plan construction rejected: {e}")),
+    };
+    let report = plan.validate(q, elem_bytes);
+    if report.has_errors() {
+        let sites: Vec<String> = report
+            .errors()
+            .map(trisolve_gpu_sim::Diagnostic::site)
+            .collect();
+        return Some(format!("launch validation rejected: {}", sites.join(", ")));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolve_gpu_sim::DeviceSpec;
+
+    fn params() -> SolverParams {
+        SolverParams::default_untuned()
+    }
+
+    #[test]
+    fn paper_grid_certifies_on_every_device_and_layout() {
+        for dev in DeviceSpec::paper_devices() {
+            let q = dev.queryable();
+            for shape in WorkloadShape::paper_grid() {
+                for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+                    let p = SolverParams {
+                        variant,
+                        ..params()
+                    };
+                    let report = analyze_params(shape, &p, q, 4).unwrap();
+                    assert!(
+                        report.certified(),
+                        "{}: {:?}",
+                        report.label,
+                        report.failures()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_predicate_matches_the_plan_builder() {
+        let dev = DeviceSpec::geforce_8800_gtx();
+        let q = dev.queryable();
+        let shape = WorkloadShape::new(32, 4096);
+        // Admissible params: not rejected.
+        assert_eq!(statically_rejected(shape, &params(), q, 4), None);
+        // onchip_size above the machine cap: the builder refuses it.
+        let too_big = SolverParams {
+            onchip_size: 2048,
+            ..params()
+        };
+        let reason = statically_rejected(shape, &too_big, q, 4);
+        assert!(reason.is_some());
+        assert!(
+            SolvePlan::build(shape, &too_big, q, 4).is_err(),
+            "predicate fired but the builder accepts"
+        );
+        // The exact iff: over a parameter sweep, rejection fires
+        // precisely when build-or-validate fails.
+        for onchip in [64usize, 128, 256, 512, 1024, 2048] {
+            for thomas in [16usize, 32, 64] {
+                let p = SolverParams {
+                    onchip_size: onchip,
+                    thomas_switch: thomas,
+                    ..params()
+                };
+                let rejected = statically_rejected(shape, &p, q, 4).is_some();
+                let engine_refuses = match SolvePlan::build(shape, &p, q, 4) {
+                    Err(_) => true,
+                    Ok(plan) => plan.validate(q, 4).has_errors(),
+                };
+                assert_eq!(rejected, engine_refuses, "onchip={onchip} thomas={thomas}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_render_names_the_verdict() {
+        let dev = DeviceSpec::gtx_470();
+        let r = analyze_params(
+            WorkloadShape::new(1024, 1024),
+            &params(),
+            dev.queryable(),
+            4,
+        )
+        .unwrap();
+        let text = r.render();
+        assert!(text.contains("CERTIFIED"), "{text}");
+        assert!(text.contains("obligations"), "{text}");
+    }
+
+    #[test]
+    fn corrupted_plan_is_not_certified() {
+        let dev = DeviceSpec::gtx_470();
+        let q = dev.queryable();
+        let mut plan = SolvePlan::build(WorkloadShape::new(1, 1 << 21), &params(), q, 4).unwrap();
+        plan.ops.reverse();
+        let r = analyze_plan(&plan, q, 4);
+        assert!(!r.certified());
+        assert!(r.failures().iter().any(|f| f.contains("stage-order")));
+    }
+
+    #[test]
+    fn strided_prediction_kicks_in_at_wide_strides() {
+        // 1x2M with a 256 on-chip size splits 8192-way: stride far past
+        // one transaction span, so the model predicts Strided.
+        let dev = DeviceSpec::gtx_470();
+        let r = analyze_params(
+            WorkloadShape::new(1, 2 * 1024 * 1024),
+            &params(),
+            dev.queryable(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(r.predicted_variant, BaseVariant::Strided);
+    }
+}

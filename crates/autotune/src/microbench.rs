@@ -4,8 +4,9 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use trisolve_analyze::statically_rejected;
 use trisolve_core::engine::SolveSession;
-use trisolve_core::kernels::GpuScalar;
+use trisolve_core::kernels::{elem_bytes, GpuScalar};
 use trisolve_core::SolverParams;
 use trisolve_gpu_sim::Gpu;
 use trisolve_obs::arg;
@@ -35,6 +36,12 @@ pub struct Microbench<T: GpuScalar> {
     /// [`FAULT_RETRIES`] times before the candidate is written off as
     /// unrunnable — the search then steps around it instead of aborting.
     pub faulted_measurements: usize,
+    /// Candidates the static analyzer proved invalid before any simulated
+    /// timing (see [`trisolve_analyze::statically_rejected`]). Each still
+    /// counts as a measurement and costs `+inf` — exactly what the
+    /// execution engine would have returned — so pruning changes *when*
+    /// the verdict is known, never the search trajectory.
+    pub pruned_candidates: usize,
 }
 
 /// Transient-fault retries per measurement before a candidate costs `+inf`.
@@ -66,6 +73,7 @@ impl<T: GpuScalar> Microbench<T> {
             reuse_sessions: true,
             measurements: 0,
             faulted_measurements: 0,
+            pruned_candidates: 0,
         }
     }
 
@@ -102,7 +110,19 @@ impl<T: GpuScalar> Microbench<T> {
         params: &SolverParams,
     ) -> f64 {
         let tracer = gpu.tracer().clone();
-        let (cost, fault_retries) = self.measure_inner(gpu, shape, params);
+        // Static pre-check: a candidate the analyzer proves the engine
+        // would reject (plan construction or launch validation) is priced
+        // +inf without touching the device. `statically_rejected` mirrors
+        // `SolveSession::plan_for` exactly, so the cost function — and
+        // therefore the tuned output — is bit-identical to measuring it.
+        let pruned = statically_rejected(shape, params, gpu.spec().queryable(), elem_bytes::<T>());
+        let (cost, fault_retries) = if pruned.is_some() {
+            self.measurements += 1;
+            self.pruned_candidates += 1;
+            (f64::INFINITY, 0)
+        } else {
+            self.measure_inner(gpu, shape, params)
+        };
         if tracer.is_enabled() {
             tracer.instant_now(
                 "tuner",
@@ -117,9 +137,14 @@ impl<T: GpuScalar> Microbench<T> {
                     arg("cost_s", cost),
                     arg("runnable", cost.is_finite()),
                     arg("fault_retries", fault_retries),
+                    arg("pruned", pruned.is_some()),
                 ],
             );
             tracer.counter_add("tuner_evals", 1);
+            if pruned.is_some() {
+                tracer.counter_add("candidates_pruned", 1);
+                tracer.counter_add("proofs_failed", 1);
+            }
         }
         cost
     }
@@ -266,6 +291,58 @@ mod tests {
         let t = mb.measure(&mut gpu, shape, &SolverParams::default_untuned());
         assert!(t.is_infinite());
         assert_eq!(mb.faulted_measurements, 1);
+    }
+
+    #[test]
+    fn statically_rejected_candidates_are_pruned_not_measured() {
+        let mut mb: Microbench<f32> = Microbench::new();
+        let mut gpu = Gpu::new(DeviceSpec::geforce_8800_gtx());
+        let shape = WorkloadShape::new(8, 1024);
+        let bad = SolverParams {
+            stage1_target_systems: 16,
+            onchip_size: 1024, // provably too large for the 8800
+            thomas_switch: 64,
+            variant: BaseVariant::Strided,
+        };
+        assert!(mb.measure(&mut gpu, shape, &bad).is_infinite());
+        assert_eq!(mb.pruned_candidates, 1);
+        assert_eq!(mb.measurements, 1); // still counts as an evaluation
+        assert_eq!(mb.cached_sessions(), 0); // the device was never touched
+                                             // A runnable candidate is measured, not pruned.
+        let t = mb.measure(&mut gpu, shape, &SolverParams::default_untuned());
+        assert!(t.is_finite());
+        assert_eq!(mb.pruned_candidates, 1);
+        assert_eq!(mb.measurements, 2);
+    }
+
+    #[test]
+    fn pruning_agrees_with_the_engine_verdict() {
+        use trisolve_analyze::statically_rejected;
+        // Exactness over a parameter sweep: a candidate is pruned iff the
+        // un-pruned harness would have priced it +inf via plan rejection;
+        // un-pruned candidates always measure finite on this shape.
+        let mut mb: Microbench<f32> = Microbench::new();
+        let mut gpu = Gpu::new(DeviceSpec::geforce_8800_gtx());
+        let shape = WorkloadShape::new(16, 2048);
+        let q = gpu.spec().queryable().clone();
+        for onchip in [64usize, 128, 256, 512, 1024] {
+            let p = SolverParams {
+                stage1_target_systems: 16,
+                onchip_size: onchip,
+                thomas_switch: 32,
+                variant: BaseVariant::Strided,
+            };
+            let before = mb.pruned_candidates;
+            let cost = mb.measure(&mut gpu, shape, &p);
+            let pruned = mb.pruned_candidates > before;
+            assert_eq!(
+                pruned,
+                statically_rejected(shape, &p, &q, 4).is_some(),
+                "onchip={onchip}"
+            );
+            assert_eq!(pruned, cost.is_infinite(), "onchip={onchip}");
+        }
+        assert!(mb.pruned_candidates >= 1);
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl Pow2Axis {
         }
         p
     }
+
+    /// Restrict the axis to `cap` (a power of two), returning the shrunk
+    /// axis and the values cut off — the second pruning strategy: axes
+    /// are narrowed by *proofs* before any candidate is measured, and
+    /// the pruned values are reported rather than silently never tried.
+    /// `cap` below `min` collapses the axis to its single smallest value.
+    pub fn restrict_max(&self, cap: usize) -> (Pow2Axis, Vec<usize>) {
+        assert!(
+            cap.is_power_of_two(),
+            "{}: cap {cap} not a power of two",
+            self.name
+        );
+        let max = self.max.min(cap);
+        let min = self.min.min(max);
+        let pruned = self.values().into_iter().filter(|&v| v > max).collect();
+        (Pow2Axis::new(self.name, min, max), pruned)
+    }
 }
 
 /// Evaluations needed to search several axes **jointly** (the Cartesian
@@ -145,6 +162,22 @@ mod tests {
         assert_eq!(p2.len(), 32);
         assert_eq!(joint_evaluations(&[p1, p2]), 512);
         assert_eq!(decoupled_evaluations(&[p1, p2]), 48);
+    }
+
+    #[test]
+    fn restrict_max_splits_off_the_infeasible_tail() {
+        let a = Pow2Axis::new("s3", 32, 4096);
+        let (shrunk, pruned) = a.restrict_max(1024);
+        assert_eq!(shrunk, Pow2Axis::new("s3", 32, 1024));
+        assert_eq!(pruned, vec![2048, 4096]);
+        // A cap at or above max prunes nothing.
+        let (same, none) = a.restrict_max(8192);
+        assert_eq!(same, a);
+        assert!(none.is_empty());
+        // A cap below min collapses to the singleton axis at the cap.
+        let (tiny, cut) = a.restrict_max(16);
+        assert_eq!(tiny, Pow2Axis::new("s3", 16, 16));
+        assert_eq!(cut.len(), a.len());
     }
 
     #[test]

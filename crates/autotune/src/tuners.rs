@@ -175,6 +175,47 @@ impl TuningBudget {
     }
 }
 
+/// The dynamic tuner's `onchip_size` axis, derived by *proof* instead of
+/// assumption: the theoretical axis spans up to
+/// [`trisolve_analyze::ONCHIP_SEARCH_CEILING`], and the static analyzer's
+/// launch-admissibility proofs cut off the infeasible tail before any
+/// candidate is measured. The pruning is exact
+/// (`prune_onchip_axis` proves `feasible_max ==
+/// SolverParams::max_onchip_size`), so the axis — and every tuned output —
+/// is identical to the pre-analyzer behaviour; the pruned candidate
+/// classes are now *counted* (`candidates_pruned` / `proofs_failed`
+/// tracer counters, surfaced in `MetricsReport`) instead of silently
+/// never tried.
+fn pruned_onchip_axis(
+    q: &QueryableProps,
+    elem_bytes: usize,
+    tracer: &trisolve_obs::Tracer,
+) -> Pow2Axis {
+    let prune =
+        trisolve_analyze::prune_onchip_axis(q, elem_bytes, trisolve_analyze::ONCHIP_SEARCH_CEILING);
+    let theoretical = Pow2Axis::new(
+        "onchip_size",
+        32.min(prune.feasible_max),
+        trisolve_analyze::ONCHIP_SEARCH_CEILING.max(prune.feasible_max),
+    );
+    let (axis, pruned) = theoretical.restrict_max(prune.feasible_max);
+    if tracer.is_enabled() {
+        tracer.counter_add("candidates_pruned", pruned.len() as u64);
+        tracer.counter_add("proofs_failed", prune.proofs_failed as u64);
+        tracer.instant_now(
+            "tuner",
+            "axis-pruned",
+            vec![
+                arg("axis", axis.name),
+                arg("feasible_max", prune.feasible_max),
+                arg("pruned_classes", pruned.len()),
+                arg("proofs_failed", prune.proofs_failed),
+            ],
+        );
+    }
+    axis
+}
+
 /// §IV-D: the self-tuner. Seeds every axis at the static tuner's guess,
 /// then hill-climbs the decoupled parameter groups with micro-benchmarks:
 ///
@@ -243,8 +284,7 @@ impl DynamicTuner {
         let evaluations_before = mb.measurements;
 
         let static_guess = StaticTuner.params_for(shape, &q, eb);
-        let max_onchip = SolverParams::max_onchip_size(&q, eb);
-        let onchip_axis = Pow2Axis::new("onchip_size", 32.min(max_onchip), max_onchip);
+        let onchip_axis = pruned_onchip_axis(&q, eb, &tracer);
 
         let mut p1 = static_guess.stage1_target_systems;
         let mut best_t4 = std::collections::HashMap::new();
@@ -359,8 +399,7 @@ impl DynamicTuner {
         let tracer = gpu.tracer().clone();
         let mut mb: Microbench<T> = Microbench::new();
 
-        let max_onchip = SolverParams::max_onchip_size(&q, eb);
-        let onchip_axis = Pow2Axis::new("onchip_size", 32.min(max_onchip), max_onchip);
+        let onchip_axis = pruned_onchip_axis(&q, eb, &tracer);
         let static_guess =
             StaticTuner.params_for(WorkloadShape::new(1, budget.fill_system_size), &q, eb);
 
@@ -604,6 +643,45 @@ mod tests {
             cfg.params_for(WorkloadShape::new(10, 1024)).variant,
             BaseVariant::Coalesced
         );
+    }
+
+    #[test]
+    fn pruned_axis_is_identical_to_the_machine_query_axis() {
+        // The bit-identity guarantee: proof-derived axis bounds coincide
+        // with the machine-query bounds on every device and width, so the
+        // search walks exactly the same candidates as before pruning.
+        let tracer = trisolve_obs::Tracer::disabled();
+        for d in DeviceSpec::paper_devices() {
+            let q = d.queryable();
+            for eb in [4usize, 8] {
+                let max = SolverParams::max_onchip_size(q, eb);
+                assert_eq!(
+                    pruned_onchip_axis(q, eb, &tracer),
+                    Pow2Axis::new("onchip_size", 32.min(max), max),
+                    "{} eb={eb}",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuning_reports_pruned_candidate_classes() {
+        // Every tuner run must report at least one statically-pruned
+        // candidate class: the theoretical ceiling exceeds each device cap.
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+        gpu.set_tracer(trisolve_obs::Tracer::enabled());
+        let mut dt = DynamicTuner::new();
+        dt.tune(&mut gpu, TuningBudget::quick());
+        let counters = gpu.tracer().counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(get("candidates_pruned") >= 1, "{counters:?}");
+        assert!(get("proofs_failed") >= 1, "{counters:?}");
     }
 
     #[test]

@@ -94,6 +94,8 @@ fn main() {
                 "solve_launches": solve_launches,
                 "total_launches": counter("launches"),
                 "gmem_payload_bytes": counter("gmem_payload_bytes"),
+                "candidates_pruned": counter("candidates_pruned"),
+                "proofs_failed": counter("proofs_failed"),
                 "recovered_by": recovered_by,
                 "faults_injected": counter("faults_injected"),
                 "retries": counter("retries"),

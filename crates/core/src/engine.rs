@@ -294,6 +294,13 @@ impl<T: GpuScalar> SolveSession<T> {
         self.plans.len()
     }
 
+    /// Queryable properties of the device this session allocated on —
+    /// the same limits `plan_for` validates against, so external
+    /// analyzers (e.g. `trisolve-analyze`) can reproduce its verdicts.
+    pub fn device(&self) -> &QueryableProps {
+        &self.device
+    }
+
     /// The cached plan for `params`, building (and statically validating)
     /// on first use. A plan with launch-validation *errors* — a launch the
     /// device would reject — is refused here, before any kernel runs; the

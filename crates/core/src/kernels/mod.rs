@@ -7,12 +7,18 @@
 //! calls are the performance model of the real CUDA kernels; the analytic
 //! expectations they encode are checked by the tests in this module tree.
 
+pub mod access;
 pub mod base;
 pub mod baselines;
 pub mod repack;
 pub mod stage1;
 pub mod stage2;
 
+pub use access::{
+    base_access_summary, baseline_access_summary, repack_access_summary, stage1_access_summary,
+    stage2_access_summary, unpack_access_summary, AffineMap, AffineTerm, BarrierInterval,
+    GlobalAccess, KernelAccessSummary, SmemAccess, SmemOwner,
+};
 pub use base::{base_config, base_solve};
 pub use baselines::{baseline_config, baseline_solve, BaselineAlgo};
 pub use repack::{repack_chains, repack_config, unpack_config, unpack_solution};

@@ -2,6 +2,7 @@
 //! parameter set, produce the executable sequence of stage invocations.
 
 use crate::error::CoreError;
+use crate::kernels;
 use crate::kernels::{base_config, stage1_config, stage2_config};
 use crate::params::{BaseVariant, SolverParams};
 use crate::Result;
@@ -208,6 +209,41 @@ impl SolvePlan {
                     thomas_chains,
                     variant,
                     elem_bytes,
+                ),
+            })
+            .collect()
+    }
+
+    /// The affine access summary of every stage invocation, in execution
+    /// order — the static mirror of what each launch touches. Built by
+    /// constructors living next to the config builders
+    /// ([`crate::kernels::access`]) and zipped 1:1 with
+    /// [`Self::launch_configs`] by the `trisolve-analyze` prover.
+    pub fn access_summaries(&self) -> Vec<kernels::access::KernelAccessSummary> {
+        let m = self.shape.num_systems;
+        let np = self.padded_size;
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                StageOp::Stage1Split { stride, .. } => {
+                    kernels::access::stage1_access_summary(m, np, stride)
+                }
+                StageOp::Stage2Split {
+                    stride_in, steps, ..
+                } => kernels::access::stage2_access_summary(m, np, stride_in, steps),
+                StageOp::BaseSolve {
+                    chain_len,
+                    stride,
+                    thomas_chains,
+                    variant,
+                    ..
+                } => kernels::access::base_access_summary(
+                    m,
+                    np,
+                    chain_len,
+                    stride,
+                    thomas_chains,
+                    variant,
                 ),
             })
             .collect()

@@ -50,6 +50,15 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Stable site identifier `"<kernel>:<code>"` — the join key between
+    /// static-validation findings, analyzer proof obligations and dynamic
+    /// sanitizer hazards (all of which carry the kernel label).
+    pub fn site(&self) -> String {
+        format!("{}:{}", self.kernel, self.code)
+    }
+}
+
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -92,9 +101,16 @@ impl ValidationReport {
             .filter(|d| d.level == DiagLevel::Warning)
     }
 
-    /// Append all findings of `other`.
+    /// Append the findings of `other`, dropping exact duplicates
+    /// (identical level/code/kernel/message) already present: a plan that
+    /// launches the same configuration repeatedly (e.g. one stage-1 step
+    /// per split) would otherwise report the same finding once per launch.
     pub fn merge(&mut self, other: ValidationReport) {
-        self.diagnostics.extend(other.diagnostics);
+        for d in other.diagnostics {
+            if !self.diagnostics.contains(&d) {
+                self.diagnostics.push(d);
+            }
+        }
     }
 }
 
@@ -241,8 +257,8 @@ pub fn validate_launch(q: &QueryableProps, cfg: &LaunchConfig) -> ValidationRepo
             ),
         );
     }
-    if let Some(occ) = occupancy_estimate(q, cfg) {
-        if occ < LOW_OCCUPANCY_THRESHOLD {
+    match occupancy_estimate(q, cfg) {
+        Some(occ) if occ < LOW_OCCUPANCY_THRESHOLD => {
             push(
                 &mut report,
                 DiagLevel::Warning,
@@ -252,6 +268,24 @@ pub fn validate_launch(q: &QueryableProps, cfg: &LaunchConfig) -> ValidationRepo
                      too few resident warps to hide memory latency",
                     occ * 100.0,
                     LOW_OCCUPANCY_THRESHOLD * 100.0
+                ),
+            );
+        }
+        Some(_) => {}
+        // The estimate refuses configurations it considers fatal (zero
+        // threads, oversubscribed shared memory or registers). Every such
+        // configuration already carries a hard error above and never
+        // reaches this point — but if the two ever drift, refusing the
+        // launch outright beats silently skipping the occupancy check.
+        None => {
+            push(
+                &mut report,
+                DiagLevel::Error,
+                "block-too-small",
+                format!(
+                    "occupancy is undefined for a {}-thread block; \
+                     the launch cannot be assessed and is refused",
+                    cfg.block_threads
                 ),
             );
         }
@@ -404,6 +438,54 @@ mod tests {
         ];
         let r = validate_launches(&dev, &cfgs);
         assert_eq!(r.errors().count(), 2);
+    }
+
+    #[test]
+    fn merge_deduplicates_identical_findings() {
+        let dev = q();
+        // The same invalid configuration validated twice must report its
+        // findings once, not once per launch.
+        let cfg = LaunchConfig::new("k", 0, 64);
+        let r = validate_launches(&dev, &[cfg.clone(), cfg]);
+        assert_eq!(r.errors().count(), 1);
+        // Distinct kernels with the same code are NOT duplicates.
+        let r2 = validate_launches(
+            &dev,
+            &[LaunchConfig::new("a", 0, 64), LaunchConfig::new("b", 0, 64)],
+        );
+        assert_eq!(r2.errors().count(), 2);
+    }
+
+    #[test]
+    fn diagnostic_site_joins_kernel_and_code() {
+        let r = validate_launch(&q(), &LaunchConfig::new("base[256@8]", 0, 64));
+        let sites: Vec<_> = r.errors().map(Diagnostic::site).collect();
+        assert_eq!(sites, vec!["base[256@8]:zero-grid".to_string()]);
+    }
+
+    #[test]
+    fn occupancy_is_never_silently_skipped() {
+        // Invariant behind the `block-too-small` arm: every configuration
+        // either passes the hard-error phase with a defined occupancy
+        // estimate, or carries an error — the advisory occupancy check can
+        // never be skipped silently.
+        let dev = q();
+        for grid in [0usize, 1, 14, 1 << 16] {
+            for threads in [0usize, 1, 100, 256, 1024, 2048] {
+                for smem in [0usize, 1 << 10, dev.shared_mem_per_sm_bytes + 1] {
+                    for regs in [0usize, 16, 64] {
+                        let cfg = LaunchConfig::new("k", grid, threads)
+                            .with_shared_mem(smem)
+                            .with_regs(regs);
+                        let r = validate_launch(&dev, &cfg);
+                        assert!(
+                            r.has_errors() || occupancy_estimate(&dev, &cfg).is_some(),
+                            "silent skip for {cfg:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

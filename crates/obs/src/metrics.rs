@@ -43,6 +43,12 @@ pub struct MetricsReport {
     pub fallbacks: u64,
     /// Residual verifications performed by the resilience layer.
     pub residual_checks: u64,
+    /// Tuner candidates the static analyzer pruned before measurement
+    /// (from the `candidates_pruned` counter).
+    pub candidates_pruned: u64,
+    /// Static proof obligations that failed across pruned candidates
+    /// (from the `proofs_failed` counter).
+    pub proofs_failed: u64,
     /// Host-to-device bytes moved.
     pub h2d_bytes: u64,
     /// Device-to-host bytes moved.
@@ -118,6 +124,13 @@ impl MetricsReport {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map_or(0, |(_, v)| *v)
+        };
+
         Self {
             events: events.len(),
             kernels: rows,
@@ -129,6 +142,8 @@ impl MetricsReport {
             retries,
             fallbacks,
             residual_checks,
+            candidates_pruned: counter("candidates_pruned"),
+            proofs_failed: counter("proofs_failed"),
             h2d_bytes,
             d2h_bytes,
             counters: counters
@@ -182,6 +197,13 @@ impl MetricsReport {
                 out,
                 "  resilience: {} faults injected | {} retries | {} fallbacks | {} residual checks",
                 self.faults, self.retries, self.fallbacks, self.residual_checks
+            );
+        }
+        if self.candidates_pruned + self.proofs_failed > 0 {
+            let _ = writeln!(
+                out,
+                "  static analysis: {} candidates pruned | {} proofs failed",
+                self.candidates_pruned, self.proofs_failed
             );
         }
         for (name, value) in &self.counters {
@@ -242,7 +264,14 @@ mod tests {
             instant(11, "resilience", "fallback", Vec::new()),
             instant(12, "resilience", "residual", Vec::new()),
         ];
-        let report = MetricsReport::from_trace(&events, &[("launches", 3)]);
+        let report = MetricsReport::from_trace(
+            &events,
+            &[
+                ("launches", 3),
+                ("candidates_pruned", 2),
+                ("proofs_failed", 5),
+            ],
+        );
         assert_eq!(report.kernels.len(), 2);
         assert_eq!(report.kernels[0].family, "stage2");
         assert_eq!(report.kernels[0].launches, 2);
@@ -258,12 +287,15 @@ mod tests {
         assert_eq!(report.residual_checks, 1);
         assert_eq!(report.h2d_bytes, 4096);
         assert_eq!(report.d2h_bytes, 1024);
-        assert_eq!(report.counters, vec![("launches".to_string(), 3)]);
+        assert_eq!(report.counters.len(), 3);
+        assert_eq!(report.candidates_pruned, 2);
+        assert_eq!(report.proofs_failed, 5);
 
         let table = report.render(1);
         assert!(table.contains("stage2"));
         assert!(table.contains("... 1 more families"));
         assert!(table.contains("resilience: 1 faults injected | 2 retries"));
+        assert!(table.contains("static analysis: 2 candidates pruned | 5 proofs failed"));
     }
 
     #[test]

@@ -43,8 +43,11 @@ else
     cargo run -q --release -p trisolve-bench --bin snapshot > "$out"
 fi
 
-# Sanity: the snapshot must be non-empty JSON with a devices array and
-# the resilience counters of the tuned solve.
+# Sanity: the snapshot must be non-empty JSON with a devices array, the
+# resilience counters of the tuned solve, and the static-analysis pruning
+# counters of the tuning run.
 grep -q '"devices"' "$out"
 grep -q '"retries"' "$out"
+grep -q '"candidates_pruned"' "$out"
+grep -q '"proofs_failed"' "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)"

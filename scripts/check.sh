@@ -27,6 +27,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "== kernel sanitizer smoke run =="
 cargo run -q --release --bin trisolve -- sanitize --quick
 
+echo "== static analyzer smoke run (nonzero exit on unproven case) =="
+cargo run -q --release --bin trisolve -- analyze --quick
+
 echo "== chaos / resilience smoke run (nonzero exit on unrecovered case) =="
 cargo run -q --release --bin trisolve -- chaos --quick
 

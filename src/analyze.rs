@@ -1,0 +1,481 @@
+//! The `trisolve analyze` harness: statically certify every shipping
+//! kernel and plan across the paper's workload matrix using the
+//! [`trisolve_analyze`] prover, without executing a single simulated
+//! instruction.
+//!
+//! Three halves, mirroring the dynamic [`crate::sanitize`] harness:
+//!
+//! 1. **Fixture self-check** — synthetic summaries and plans each
+//!    containing one planted defect (a stretched out-of-bounds access
+//!    map, a collapsed barrier that races, a reordered stage ladder, an
+//!    oversized on-chip budget). Each must be *refuted*; a prover that
+//!    certifies its own broken fixtures proves nothing about clean runs.
+//! 2. **Certification sweep** — the multi-stage solver (both
+//!    memory-layout variants), the repack/unpack passes and the three
+//!    prior-art baseline kernels over the Figure 5–8 workload grid, on
+//!    the paper's devices. Every case must come back fully proven:
+//!    OOB-free, race-free, launch-admissible, lint-error-free and within
+//!    the all-sizes shared-memory budget.
+//! 3. **Cross-validation** — a sample of statically-certified cases is
+//!    re-run under the *dynamic* sanitizer (DESIGN.md §3.6). A certified
+//!    case that produces a runtime hazard is a soundness bug in the
+//!    analyzer and fails the harness loudly.
+//!
+//! The harness is a library so the CI gate (`scripts/check.sh`), the
+//! integration tests and the CLI subcommand all run the same code.
+
+use trisolve_analyze::{
+    analyze_params, conflict::kernel_bank_summaries, lint_plan, prove_kernel,
+    smem_budget_obligation, statically_rejected, LintLevel,
+};
+use trisolve_autotune::{StaticTuner, Tuner};
+use trisolve_core::kernels::{
+    base_access_summary, base_config, baseline_access_summary, baseline_config, elem_bytes,
+    repack_access_summary, repack_config, unpack_access_summary, unpack_config, BaselineAlgo,
+    GpuScalar, KernelAccessSummary,
+};
+use trisolve_core::{BaseVariant, SolvePlan, SolverParams};
+use trisolve_gpu_sim::{validate_launch, DeviceSpec, LaunchConfig};
+use trisolve_tridiag::workloads::WorkloadShape;
+
+use crate::sanitize::{shrunk_paper_grid, solve_case};
+
+/// Outcome of one planted-defect fixture.
+#[derive(Debug, Clone)]
+pub struct ProofFixture {
+    /// Fixture name (what was planted).
+    pub name: &'static str,
+    /// Did the prover refuse to certify the planted defect?
+    pub refuted: bool,
+    /// The failed obligation the prover produced (or why refutation
+    /// failed).
+    pub detail: String,
+}
+
+/// Outcome of one certification-sweep case.
+#[derive(Debug, Clone)]
+pub struct AnalyzeCase {
+    /// Human-readable case label (device, workload, precision, kernels).
+    pub label: String,
+    /// Did every proof obligation discharge?
+    pub certified: bool,
+    /// Obligations the prover checked for this case.
+    pub obligations: usize,
+    /// Worst shared-memory bank-conflict degree across the case's sites.
+    pub worst_bank_degree: usize,
+    /// Every failed obligation, lint error and validation site.
+    pub failures: Vec<String>,
+}
+
+/// Outcome of one cross-validation pairing: the static verdict next to
+/// the dynamic sanitizer's hazard list for the same case.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// Case label shared by both runs.
+    pub label: String,
+    /// The static analyzer's verdict.
+    pub certified: bool,
+    /// Hazards the dynamic sanitizer found (rendered).
+    pub hazards: Vec<String>,
+}
+
+impl CrossCheck {
+    /// True unless a statically-certified case produced a dynamic hazard
+    /// — the one combination that indicts the analyzer's soundness.
+    pub fn is_sound(&self) -> bool {
+        !self.certified || self.hazards.is_empty()
+    }
+}
+
+/// Options for the certification sweep and cross-validation.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Devices to sweep (defaults to all three paper devices).
+    pub devices: Vec<DeviceSpec>,
+    /// Linear shrink applied to the paper's workload grid; 1 = the full
+    /// Figure 5–8 sizes. The static sweep is cheap, so the *analysis*
+    /// always covers the full grid — the shrink only bounds the
+    /// cross-validation solves.
+    pub shrink: usize,
+    /// Sweep f32 as well as f64.
+    pub both_precisions: bool,
+}
+
+impl AnalyzeOptions {
+    /// The full matrix: all devices, both precisions, full-size grid.
+    pub fn full() -> Self {
+        Self {
+            devices: DeviceSpec::paper_devices(),
+            shrink: 1,
+            both_precisions: true,
+        }
+    }
+
+    /// The CI smoke matrix: one device, f64 only, shrunk
+    /// cross-validation workloads.
+    pub fn quick() -> Self {
+        Self {
+            devices: vec![DeviceSpec::gtx_470()],
+            shrink: 16,
+            both_precisions: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture self-check
+// ---------------------------------------------------------------------------
+
+fn refutation(name: &'static str, refuted: bool, failures: Vec<String>) -> ProofFixture {
+    ProofFixture {
+        name,
+        refuted,
+        detail: if failures.is_empty() {
+            "planted defect was not refuted".into()
+        } else {
+            failures.join("; ")
+        },
+    }
+}
+
+fn fixture_summary() -> (KernelAccessSummary, LaunchConfig) {
+    let (m, n) = (1usize, 1024usize);
+    (
+        base_access_summary(m, n, n, 1, 4, BaseVariant::Strided),
+        base_config(1, n, 1, 4, BaseVariant::Strided, 8),
+    )
+}
+
+/// Planted defect: the buffer is one element shorter than the access
+/// map's reach, so exactly one global access goes out of bounds.
+fn oob_fixture() -> ProofFixture {
+    let (mut summary, cfg) = fixture_summary();
+    summary.buffer_len -= 1;
+    let proof = prove_kernel(&summary, &cfg, 8);
+    let failures: Vec<String> = proof
+        .failures()
+        .filter(|o| o.name.starts_with("oob-global"))
+        .map(|o| format!("{}: {}", o.name, o.detail))
+        .collect();
+    refutation("out-of-bounds access map", !failures.is_empty(), failures)
+}
+
+/// Planted defect: the base kernel's double sync is collapsed — the PCR
+/// read and write intervals merge, recreating the read/write race the
+/// real kernel's second barrier exists to prevent.
+fn race_fixture() -> ProofFixture {
+    let (mut summary, cfg) = fixture_summary();
+    if summary.intervals.len() >= 2 {
+        let second = summary.intervals.remove(1);
+        let first = &mut summary.intervals[0];
+        first.label = format!("{}+{}", first.label, second.label);
+        first.accesses.extend(second.accesses);
+    }
+    let proof = prove_kernel(&summary, &cfg, 8);
+    let failures: Vec<String> = proof
+        .failures()
+        .filter(|o| o.name.starts_with("race-free"))
+        .map(|o| format!("{}: {}", o.name, o.detail))
+        .collect();
+    refutation("collapsed-barrier race", !failures.is_empty(), failures)
+}
+
+/// Planted defect: a valid plan with its stage ladder reversed, which
+/// the structural lints must flag as an error.
+fn lint_fixture() -> ProofFixture {
+    let q = DeviceSpec::gtx_470().queryable().clone();
+    let shape = WorkloadShape::new(16, 2048);
+    let params = SolverParams::default_untuned();
+    match SolvePlan::build(shape, &params, &q, 8) {
+        Ok(mut plan) => {
+            plan.ops.reverse();
+            let failures: Vec<String> = lint_plan(&plan)
+                .into_iter()
+                .filter(|l| l.level == LintLevel::Error)
+                .map(|l| format!("[{}] {}", l.code, l.message))
+                .collect();
+            refutation("reversed stage ladder", !failures.is_empty(), failures)
+        }
+        Err(e) => refutation(
+            "reversed stage ladder",
+            false,
+            vec![format!("fixture plan failed to build: {e}")],
+        ),
+    }
+}
+
+/// Planted defect: an on-chip size four times past the weakest device's
+/// capacity. Both the all-sizes budget proof and the tuner's rejection
+/// predicate must refuse it.
+fn budget_fixture() -> ProofFixture {
+    let q = DeviceSpec::geforce_8800_gtx().queryable().clone();
+    let params = SolverParams {
+        onchip_size: 4096,
+        ..SolverParams::default_untuned()
+    };
+    let budget = smem_budget_obligation(&params, &q, 4);
+    let rejected = statically_rejected(WorkloadShape::new(16, 4096), &params, &q, 4);
+    let mut failures = Vec::new();
+    if !budget.proven {
+        failures.push(format!("{}: {}", budget.name, budget.detail));
+    }
+    if let Some(reason) = rejected {
+        failures.push(reason);
+    }
+    refutation("oversized on-chip budget", failures.len() == 2, failures)
+}
+
+/// Run the four planted-defect fixtures. Each plants exactly one defect
+/// class; a sound prover refutes all four.
+pub fn fixture_checks() -> Vec<ProofFixture> {
+    vec![
+        oob_fixture(),
+        race_fixture(),
+        lint_fixture(),
+        budget_fixture(),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Certification sweep
+// ---------------------------------------------------------------------------
+
+/// Prove a set of standalone `(summary, config)` kernels as one case:
+/// every proof obligation plus launch admissibility on the device.
+fn prove_standalone(
+    label: String,
+    dev: &DeviceSpec,
+    eb: usize,
+    kernels: &[(KernelAccessSummary, LaunchConfig)],
+) -> AnalyzeCase {
+    let q = dev.queryable();
+    let mut obligations = 0;
+    let mut worst = 1;
+    let mut failures = Vec::new();
+    for (summary, cfg) in kernels {
+        let proof = prove_kernel(summary, cfg, eb);
+        obligations += proof.obligations.len();
+        failures.extend(
+            proof
+                .failures()
+                .map(|o| format!("{}: {} ({})", proof.label, o.name, o.detail)),
+        );
+        let validation = validate_launch(q, cfg);
+        obligations += 1;
+        failures.extend(
+            validation
+                .errors()
+                .map(|d| format!("launch refused: {}", d.site())),
+        );
+        worst = worst.max(
+            kernel_bank_summaries(summary, q, eb)
+                .iter()
+                .map(|b| b.degree)
+                .max()
+                .unwrap_or(1),
+        );
+    }
+    AnalyzeCase {
+        label,
+        certified: failures.is_empty(),
+        obligations,
+        worst_bank_degree: worst,
+        failures,
+    }
+}
+
+/// One multi-stage plan case: build, validate, lint and prove the plan
+/// the engine would run for `(shape, params)` on this device.
+fn plan_case(
+    dev: &DeviceSpec,
+    shape: WorkloadShape,
+    variant: BaseVariant,
+    precision: &str,
+    eb: usize,
+) -> AnalyzeCase {
+    let q = dev.queryable();
+    let label = format!(
+        "{} {} {} {:?}",
+        dev.name(),
+        shape.label(),
+        precision,
+        variant
+    );
+    let params = SolverParams {
+        variant,
+        ..StaticTuner.params_for(shape, q, eb)
+    };
+    match analyze_params(shape, &params, q, eb) {
+        Ok(report) => AnalyzeCase {
+            label,
+            certified: report.certified(),
+            obligations: report.obligations_checked(),
+            worst_bank_degree: report.worst_bank_degree(),
+            failures: report.failures(),
+        },
+        Err(e) => AnalyzeCase {
+            label,
+            certified: false,
+            obligations: 0,
+            worst_bank_degree: 1,
+            failures: vec![format!("plan construction rejected: {e}")],
+        },
+    }
+}
+
+/// The repack/unpack transpose passes, proven directly from their
+/// summaries (they run outside any `SolvePlan`).
+fn repack_case(dev: &DeviceSpec, precision: &str, eb: usize) -> AnalyzeCase {
+    let (m, n, stride) = (4usize, 2048usize, 4usize);
+    let label = format!("{} repack/unpack {m}x{n}@{stride} {precision}", dev.name());
+    let kernels = vec![
+        (
+            repack_access_summary(m, n, stride),
+            repack_config(m, n, stride, eb),
+        ),
+        (
+            unpack_access_summary(m, n, stride),
+            unpack_config(m, n, stride, eb),
+        ),
+    ];
+    prove_standalone(label, dev, eb, &kernels)
+}
+
+/// The three prior-art baseline kernels, proven directly from their
+/// summaries at the same geometry the dynamic sweep runs them.
+fn baseline_case(dev: &DeviceSpec, precision: &str, eb: usize) -> AnalyzeCase {
+    let (m, n, stride) = (8usize, 256usize, 1usize);
+    let chain_len = n / stride;
+    let label = format!("{} baselines {chain_len}@{stride} {precision}", dev.name());
+    let kernels: Vec<(KernelAccessSummary, LaunchConfig)> = [
+        BaselineAlgo::Pcr,
+        BaselineAlgo::Cr,
+        BaselineAlgo::CrPcr { pcr_threshold: 64 },
+    ]
+    .into_iter()
+    .map(|algo| {
+        (
+            baseline_access_summary(m, n, chain_len, stride, algo),
+            baseline_config(m * stride, chain_len, stride, algo, eb),
+        )
+    })
+    .collect();
+    prove_standalone(label, dev, eb, &kernels)
+}
+
+fn sweep_device(
+    dev: &DeviceSpec,
+    shapes: &[WorkloadShape],
+    precision: &str,
+    eb: usize,
+    out: &mut Vec<AnalyzeCase>,
+) {
+    for &shape in shapes {
+        for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+            out.push(plan_case(dev, shape, variant, precision, eb));
+        }
+    }
+    out.push(repack_case(dev, precision, eb));
+    out.push(baseline_case(dev, precision, eb));
+}
+
+/// Run the certification sweep: the full Figure 5–8 grid × both layout
+/// variants × devices (× precisions), plus the repack and baseline
+/// kernel sets per device. Every case is expected to certify.
+pub fn sweep(opts: &AnalyzeOptions) -> Vec<AnalyzeCase> {
+    let shapes = WorkloadShape::paper_grid();
+    let mut out = Vec::new();
+    for dev in &opts.devices {
+        sweep_device(dev, &shapes, "f64", 8, &mut out);
+        if opts.both_precisions {
+            sweep_device(dev, &shapes, "f32", 4, &mut out);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation against the dynamic sanitizer
+// ---------------------------------------------------------------------------
+
+fn cross_check<T: GpuScalar>(
+    dev: &DeviceSpec,
+    shape: WorkloadShape,
+    variant: BaseVariant,
+    precision: &str,
+) -> Result<CrossCheck, String> {
+    let eb = elem_bytes::<T>();
+    let q = dev.queryable();
+    let params = SolverParams {
+        variant,
+        ..StaticTuner.params_for(shape, q, eb)
+    };
+    let certified = analyze_params(shape, &params, q, eb).is_ok_and(|r| r.certified());
+    let dynamic = solve_case::<T>(dev, shape, variant, precision)?;
+    Ok(CrossCheck {
+        label: dynamic.label,
+        certified,
+        hazards: dynamic.hazards,
+    })
+}
+
+/// Re-run a sample of sweep cases under the dynamic sanitizer and pair
+/// each runtime hazard list with the static verdict. Workloads use the
+/// shrunk grid (static certification is size-generic; dynamic solves are
+/// not free). Any certified-but-hazardous pair is a soundness failure.
+pub fn cross_validate(opts: &AnalyzeOptions) -> Result<Vec<CrossCheck>, String> {
+    let shapes = shrunk_paper_grid(opts.shrink);
+    // Sample: the grid's corner shapes — many small systems, few large.
+    let sample: Vec<WorkloadShape> = match (shapes.first(), shapes.last()) {
+        (Some(&a), Some(&b)) if a != b => vec![a, b],
+        (Some(&a), _) => vec![a],
+        _ => Vec::new(),
+    };
+    let mut out = Vec::new();
+    for dev in &opts.devices {
+        for &shape in &sample {
+            for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+                out.push(cross_check::<f64>(dev, shape, variant, "f64")?);
+                if opts.both_precisions {
+                    out.push(cross_check::<f32>(dev, shape, variant, "f32")?);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_refuted() {
+        for f in fixture_checks() {
+            assert!(f.refuted, "{}: {}", f.name, f.detail);
+        }
+    }
+
+    #[test]
+    fn quick_sweep_certifies_every_case() {
+        for case in sweep(&AnalyzeOptions::quick()) {
+            assert!(
+                case.certified,
+                "{}: {}",
+                case.label,
+                case.failures.join("; ")
+            );
+            assert!(case.obligations > 0, "{}: no obligations", case.label);
+        }
+    }
+
+    #[test]
+    fn cross_validation_is_sound_on_the_quick_matrix() {
+        let checks = cross_validate(&AnalyzeOptions::quick()).unwrap();
+        assert!(!checks.is_empty());
+        for c in checks {
+            assert!(c.is_sound(), "{}: {}", c.label, c.hazards.join("; "));
+            assert!(c.certified, "{}: sample case did not certify", c.label);
+        }
+    }
+}

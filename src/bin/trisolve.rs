@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
         "sanitize" => cmd_sanitize(&opts),
+        "analyze" => cmd_analyze(&opts),
         "chaos" => cmd_chaos(&opts),
         "sort" => cmd_sort(&opts),
         "fft" => cmd_fft(&opts),
@@ -77,6 +78,13 @@ USAGE:
                    (injected-hazard fixtures, then every shipping kernel
                     over the Figure 5-8 matrix under the dynamic sanitizer;
                     nonzero exit on any hazard or undetected fixture)
+  trisolve analyze [--quick] [--device 8800|280|470] [--shrink K] [--json]
+                   (planted-defect proof fixtures, then a static
+                    certification sweep — OOB/race proofs, plan lints,
+                    bank-conflict counts, smem budget — over the Figure 5-8
+                    matrix, cross-validated against the dynamic sanitizer;
+                    nonzero exit on any unproven case, unrefuted fixture or
+                    certified-but-hazardous cross-check)
   trisolve chaos   [--quick] [--device 8800|280|470] [--shrink K] [--seed S] [--json]
                    (forced-fault fixtures, then a seeded fault-injection
                     campaign over the Figure 5-8 matrix across dominant /
@@ -491,6 +499,107 @@ fn cmd_sanitize(opts: &Opts) -> Result<(), String> {
     }
     if !dirty.is_empty() {
         return Err(format!("{} shipping case(s) produced hazards", dirty.len()));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    use trisolve::analyze;
+
+    let mut a_opts = if opts.contains_key("quick") {
+        analyze::AnalyzeOptions::quick()
+    } else {
+        analyze::AnalyzeOptions::full()
+    };
+    if opts.contains_key("device") {
+        a_opts.devices = vec![device(opts)?];
+    }
+    if opts.contains_key("shrink") {
+        a_opts.shrink = opt_usize(opts, "shrink")?.max(1);
+    }
+
+    let fixtures = analyze::fixture_checks();
+    let cases = analyze::sweep(&a_opts);
+    let checks = analyze::cross_validate(&a_opts)?;
+    let unrefuted: Vec<_> = fixtures.iter().filter(|f| !f.refuted).collect();
+    let unproven: Vec<_> = cases.iter().filter(|c| !c.certified).collect();
+    let unsound: Vec<_> = checks.iter().filter(|c| !c.is_sound()).collect();
+    let obligations: usize = cases.iter().map(|c| c.obligations).sum();
+
+    if json_flag(opts) {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "fixtures": fixtures.iter().map(|f| serde_json::json!({
+                    "name": f.name, "refuted": f.refuted, "detail": f.detail,
+                })).collect::<Vec<_>>(),
+                "cases": cases.iter().map(|c| serde_json::json!({
+                    "label": c.label,
+                    "certified": c.certified,
+                    "obligations": c.obligations,
+                    "worst_bank_degree": c.worst_bank_degree,
+                    "failures": c.failures,
+                })).collect::<Vec<_>>(),
+                "cross_checks": checks.iter().map(|c| serde_json::json!({
+                    "label": c.label,
+                    "certified": c.certified,
+                    "hazards": c.hazards,
+                    "sound": c.is_sound(),
+                })).collect::<Vec<_>>(),
+                "obligations_checked": obligations,
+                "certified": unrefuted.is_empty() && unproven.is_empty() && unsound.is_empty(),
+            }))
+            .unwrap()
+        );
+    } else {
+        println!("fixture self-check (each plants one defect the prover must refute):");
+        for f in &fixtures {
+            let mark = if f.refuted { "refuted" } else { "MISSED" };
+            println!("  [{mark:^8}] {:<32} {}", f.name, f.detail);
+        }
+        println!(
+            "\ncertification sweep ({} cases, {obligations} obligations):",
+            cases.len()
+        );
+        for c in &cases {
+            let verdict = if c.certified { "proven" } else { "UNPROVEN" };
+            println!(
+                "  [{verdict:^8}] {:<44} {:>3} obligations, worst bank degree {}",
+                c.label, c.obligations, c.worst_bank_degree
+            );
+            for f in &c.failures {
+                println!("      {f}");
+            }
+        }
+        println!("\ncross-validation against the dynamic sanitizer:");
+        for c in &checks {
+            let verdict = if !c.is_sound() {
+                "UNSOUND"
+            } else if c.certified {
+                "agrees"
+            } else {
+                "uncertified"
+            };
+            println!("  [{verdict:^11}] {:<44}", c.label);
+            for h in &c.hazards {
+                println!("      {h}");
+            }
+        }
+    }
+    if !unrefuted.is_empty() {
+        return Err(format!(
+            "analyzer failed its self-check: {} fixture(s) unrefuted",
+            unrefuted.len()
+        ));
+    }
+    if !unproven.is_empty() {
+        return Err(format!("{} sweep case(s) left unproven", unproven.len()));
+    }
+    if !unsound.is_empty() {
+        return Err(format!(
+            "{} statically-certified case(s) produced dynamic hazards",
+            unsound.len()
+        ));
     }
     Ok(())
 }

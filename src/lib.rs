@@ -19,8 +19,14 @@
 //!   selection, the pruned-search framework, and the tuning cache;
 //! * [`dnc`] — the §VI-C divide-and-conquer generalisation (auto-tuned
 //!   multi-stage merge sort);
+//! * [`analysis`] — the static kernel & plan analyzer: affine
+//!   access-pattern proofs (OOB- and race-freedom), bank-conflict and
+//!   coalescing classification, plan lints and tuner search-space pruning;
 //! * [`sanitize`] — the `trisolve sanitize` harness: injected-hazard
 //!   fixtures plus the shipping-kernel sweep under the dynamic sanitizer;
+//! * [`analyze`] — the `trisolve analyze` harness: planted-defect proof
+//!   fixtures, the full-matrix static certification sweep, and
+//!   cross-validation of static verdicts against the dynamic sanitizer;
 //! * [`chaos`] — the `trisolve chaos` harness: forced-fault fixtures plus
 //!   seeded fault-injection campaigns proving the resilience layer
 //!   (retries, residual verification, graceful degradation to CPU)
@@ -50,9 +56,11 @@
 //! println!("solved in {:.3} simulated ms", outcome.sim_time_ms());
 //! ```
 
+pub mod analyze;
 pub mod chaos;
 pub mod sanitize;
 
+pub use trisolve_analyze as analysis;
 pub use trisolve_autotune as autotune;
 pub use trisolve_core as solver;
 pub use trisolve_dnc as dnc;

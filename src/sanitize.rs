@@ -252,8 +252,10 @@ fn report_case(label: String, launches: usize, report: &SanitizerReport) -> Case
 }
 
 /// One full multi-stage solve under the sanitizer, with the memory-layout
-/// variant forced.
-fn solve_case<T: GpuScalar>(
+/// variant forced. Public because the `analyze` harness and the soundness
+/// integration tests re-run statically-certified cases through it and
+/// fail on any dynamic hazard.
+pub fn solve_case<T: GpuScalar>(
     dev: &DeviceSpec,
     shape: WorkloadShape,
     variant: BaseVariant,
