@@ -13,6 +13,7 @@ use serde::Serialize;
 use trisolve_core::kernels::access::KernelAccessSummary;
 use trisolve_core::BaseVariant;
 use trisolve_gpu_sim::QueryableProps;
+use trisolve_tridiag::workloads::WorkloadShape;
 
 /// Modeled global-memory transaction size in bytes.
 ///
@@ -101,6 +102,56 @@ pub fn predict_variant(stride: usize, elem_bytes: usize) -> BaseVariant {
     }
 }
 
+/// True when a workload sits in the modeled **many-small window**, where
+/// the coalescing + occupancy model prices the interleaved batched-Thomas
+/// fast path below the staged pipeline.
+///
+/// Three queryable conditions, each tied to a term of the model:
+///
+/// * **small systems** — at most two warps of unknowns
+///   (`padded ≤ 2·warp_size`): the staged base kernel's blocks are that
+///   small, so its PCR phase is barrier-latency-bound, not
+///   bandwidth-bound, while the interleaved layout's unit inter-lane
+///   stride keeps every batched-Thomas access in the
+///   [`CoalesceClass::Coalesced`] class;
+/// * **capacity-bound occupancy** — the device can hold at least 32
+///   warps per block (`max_threads_per_block ≥ 32·warp_size`,
+///   Fermi-class): blocks of two warps then fill under 1/16 of a block
+///   slot, and the idle capacity cannot hide the barrier latency.
+///   Earlier parts with 512-thread block caps run the same small blocks
+///   at proportionally higher occupancy and keep the staged path ahead;
+/// * **deep batch** — at least ~1K systems per processor
+///   (`num_systems ≥ 1024·num_processors`): the fast path pays two extra
+///   full repacking sweeps of the coefficient payload, which only
+///   amortise over batches in the tens of thousands.
+///
+/// Like every model in this module it reads only queryable properties;
+/// the dynamic tuner's measured phase-D switch point is the empirical
+/// check (and the `trisolve analyze` sweep cross-validates the two).
+pub fn many_small_window(shape: WorkloadShape, q: &QueryableProps) -> bool {
+    let padded = shape.system_size.next_power_of_two();
+    padded <= 2 * q.warp_size
+        && q.max_threads_per_block >= 32 * q.warp_size
+        && shape.num_systems >= 1024 * q.num_processors
+}
+
+/// Predict the winning layout for a whole workload: the interleaved
+/// batched-Thomas fast path inside the [`many_small_window`], otherwise
+/// the base kernel's chain stride decides between strided and coalesced
+/// exactly as [`predict_variant`] always has.
+pub fn predict_layout(
+    shape: WorkloadShape,
+    base_stride: usize,
+    q: &QueryableProps,
+    elem_bytes: usize,
+) -> BaseVariant {
+    if many_small_window(shape, q) {
+        BaseVariant::Interleaved
+    } else {
+        predict_variant(base_stride, elem_bytes)
+    }
+}
+
 /// Worst-case bank-conflict degree of one shared-memory access site.
 #[derive(Debug, Clone, Serialize)]
 pub struct BankSummary {
@@ -184,6 +235,51 @@ mod tests {
         // Within one transaction span the coalesced layout cannot lose.
         assert_eq!(predict_variant(2, 4), BaseVariant::Coalesced);
         assert_eq!(predict_variant(1, 8), BaseVariant::Coalesced);
+    }
+
+    #[test]
+    fn layout_prediction_matches_the_measured_many_small_winner() {
+        // The window the dynamic tuner's phase-D measurements confirm: on
+        // the GTX 470 the interleaved batched-Thomas wins for deep batches
+        // of up-to-two-warp systems; the 512-thread-block-cap parts and
+        // every shallow or large-system workload stay staged.
+        let q470 = DeviceSpec::gtx_470();
+        let q470 = q470.queryable();
+        for shape in [
+            WorkloadShape::new(65536, 32),
+            WorkloadShape::new(65536, 64),
+            WorkloadShape::new(16384, 64),
+        ] {
+            assert_eq!(
+                predict_layout(shape, 1, q470, 4),
+                BaseVariant::Interleaved,
+                "{shape:?}"
+            );
+        }
+        for dev in [DeviceSpec::gtx_280(), DeviceSpec::geforce_8800_gtx()] {
+            let q = dev.queryable();
+            assert!(
+                !many_small_window(WorkloadShape::new(65536, 32), q),
+                "{}",
+                q.name
+            );
+        }
+        for shape in [
+            WorkloadShape::new(4096, 64),   // too shallow for 14 SMs x 1K
+            WorkloadShape::new(65536, 128), // 4 warps of unknowns
+            WorkloadShape::new(16384, 512), // large systems
+        ] {
+            assert!(!many_small_window(shape, q470), "{shape:?}");
+        }
+        // Outside the window the old stride rule is untouched.
+        assert_eq!(
+            predict_layout(WorkloadShape::new(16, 4096), 8, q470, 8),
+            BaseVariant::Strided
+        );
+        assert_eq!(
+            predict_layout(WorkloadShape::new(16, 4096), 1, q470, 4),
+            BaseVariant::Coalesced
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Static kernel & plan analyzer.
 //!
-//! Abstract interpretation over the five kernel families of
-//! `trisolve-core` (`base`, `stage1`, `stage2`, `repack`, `baselines`):
+//! Abstract interpretation over the kernel families of `trisolve-core`
+//! (`base`, `stage1`, `stage2`, `repack`, `baselines`, and the
+//! interleaved fast-path triple `interleave`/`ithomas`/`deinterleave`):
 //! every [`StageOp`](trisolve_core::StageOp) contributes an affine
 //! *access summary* ([`trisolve_core::kernels::access`]) — global and
 //! shared index sets as functions of `system_size`, `num_systems`,
@@ -14,8 +15,9 @@
 //! * **(b) inter-barrier race-freedom** of shared-memory writes, using
 //!   the barrier-interval choreography each summary carries;
 //! * **(c) per-warp bank-conflict degrees** and a **coalescing
-//!   classification** predicting the Strided-vs-Coalesced layout winner
-//!   ([`conflict`]);
+//!   classification** predicting the layout winner — strided vs.
+//!   coalesced by chain stride, and the interleaved batched-Thomas fast
+//!   path inside the modeled many-small window ([`conflict`]);
 //! * **(d) plan-level lints** — switch-point monotonicity, dead or
 //!   unreachable stages, and a shared-memory budget proof across all
 //!   power-of-two sizes per device ([`lints`]).
@@ -45,10 +47,12 @@ pub mod prune;
 pub mod report;
 
 pub use conflict::{
-    bank_conflict_degree, classify_access, predict_variant, BankSummary, CoalesceClass,
-    ANALYZER_TXN_BYTES,
+    bank_conflict_degree, classify_access, many_small_window, predict_layout, predict_variant,
+    BankSummary, CoalesceClass, ANALYZER_TXN_BYTES,
 };
 pub use lints::{lint_plan, smem_budget_obligation, Lint, LintLevel};
 pub use proof::{prove_kernel, KernelProof, Obligation};
-pub use prune::{prune_onchip_axis, OnchipPrune, ONCHIP_SEARCH_CEILING};
+pub use prune::{
+    prune_layout_axis, prune_onchip_axis, LayoutPrune, OnchipPrune, ONCHIP_SEARCH_CEILING,
+};
 pub use report::{analyze_params, analyze_plan, statically_rejected, AnalysisReport};

@@ -70,24 +70,49 @@ impl Lint {
 ///   steps, does work no later stage needs;
 /// * **equation conservation** — the base kernel's
 ///   `chains * chain_len` must equal `num_systems * padded_size`.
+///
+/// An **interleaved** plan (the stage-skip fast path) is held to its own
+/// invariants instead: exactly the pack → batched-Thomas → unpack triple,
+/// every launch agreeing on the batch geometry, the batch at or above
+/// [`trisolve_core::params::INTERLEAVED_MIN_SYSTEMS`], and equation
+/// conservation (`systems * size == num_systems * padded_size`). Mixing
+/// staged and interleaved launches in one plan is a `stage-order` error.
 pub fn lint_plan(plan: &SolvePlan) -> Vec<Lint> {
     let mut lints = Vec::new();
     let p = &plan.params;
     let m = plan.shape.num_systems;
+
+    let is_interleaved_op = |op: &StageOp| {
+        matches!(
+            op,
+            StageOp::InterleavePack { .. }
+                | StageOp::InterleavedThomas { .. }
+                | StageOp::Deinterleave { .. }
+        )
+    };
+    if plan.ops.iter().any(is_interleaved_op) {
+        if !plan.ops.iter().all(is_interleaved_op) {
+            lints.push(Lint::error(
+                "stage-order",
+                "staged and interleaved launches mixed in one plan".into(),
+            ));
+        }
+        lint_interleaved(plan, &mut lints);
+        return lints;
+    }
 
     // Stage order.
     let mut seen_stage2 = false;
     let mut seen_base = false;
     for op in &plan.ops {
         match op {
-            StageOp::Stage1Split { .. } => {
-                if seen_stage2 || seen_base {
-                    lints.push(Lint::error(
-                        "stage-order",
-                        "stage-1 launch scheduled after stage 2 or the base kernel".into(),
-                    ));
-                }
+            StageOp::Stage1Split { .. } if seen_stage2 || seen_base => {
+                lints.push(Lint::error(
+                    "stage-order",
+                    "stage-1 launch scheduled after stage 2 or the base kernel".into(),
+                ));
             }
+            StageOp::Stage1Split { .. } => {}
             StageOp::Stage2Split { .. } => {
                 if seen_stage2 {
                     lints.push(Lint::error(
@@ -112,6 +137,9 @@ pub fn lint_plan(plan: &SolvePlan) -> Vec<Lint> {
                 }
                 seen_base = true;
             }
+            // Interleaved launches never reach this loop: plans containing
+            // any are fully linted by `lint_interleaved` and returned above.
+            _ => {}
         }
     }
     if !matches!(plan.ops.last(), Some(StageOp::BaseSolve { .. })) {
@@ -239,6 +267,8 @@ pub fn lint_plan(plan: &SolvePlan) -> Vec<Lint> {
                     ));
                 }
             }
+            // Interleaved launches: handled by `lint_interleaved` above.
+            _ => {}
         }
     }
 
@@ -256,6 +286,88 @@ pub fn lint_plan(plan: &SolvePlan) -> Vec<Lint> {
     }
 
     lints
+}
+
+/// Lint the interleaved (stage-skip) op triple. Called by [`lint_plan`]
+/// whenever a plan contains any interleaved launch.
+fn lint_interleaved(plan: &SolvePlan, lints: &mut Vec<Lint>) {
+    use trisolve_core::params::INTERLEAVED_MIN_SYSTEMS;
+    let m = plan.shape.num_systems;
+
+    let interleaved: Vec<&StageOp> = plan
+        .ops
+        .iter()
+        .filter(|op| {
+            matches!(
+                op,
+                StageOp::InterleavePack { .. }
+                    | StageOp::InterleavedThomas { .. }
+                    | StageOp::Deinterleave { .. }
+            )
+        })
+        .collect();
+    let well_ordered = matches!(
+        interleaved.as_slice(),
+        [
+            StageOp::InterleavePack { .. },
+            StageOp::InterleavedThomas { .. },
+            StageOp::Deinterleave { .. },
+        ]
+    );
+    if !well_ordered {
+        lints.push(Lint::error(
+            "stage-order",
+            format!(
+                "interleaved plan must be exactly pack -> batched Thomas -> unpack, \
+                 got {} interleaved launch(es)",
+                interleaved.len()
+            ),
+        ));
+    }
+
+    for op in interleaved {
+        let (label, systems, size) = match *op {
+            StageOp::InterleavePack { systems, size } => ("interleave", systems, size),
+            StageOp::InterleavedThomas { systems, size } => ("ithomas", systems, size),
+            StageOp::Deinterleave { systems, size } => ("deinterleave", systems, size),
+            _ => continue,
+        };
+        if systems != m || size != plan.padded_size {
+            lints.push(Lint::error(
+                "switch-points",
+                format!(
+                    "{label} launch covers {systems}x{size} but the workload is \
+                     {m}x{} (padded)",
+                    plan.padded_size
+                ),
+            ));
+        }
+        if systems < INTERLEAVED_MIN_SYSTEMS {
+            lints.push(Lint::error(
+                "interleave-floor",
+                format!(
+                    "{label} launch over {systems} systems is below the interleaved \
+                     batch floor {INTERLEAVED_MIN_SYSTEMS}"
+                ),
+            ));
+        }
+        if systems * size != m * plan.padded_size {
+            lints.push(Lint::error(
+                "equation-conservation",
+                format!(
+                    "{label}: {systems} systems x {size} equations != {m} systems x {} \
+                     padded size",
+                    plan.padded_size
+                ),
+            ));
+        }
+    }
+    if !matches!(plan.ops.last(), Some(StageOp::Deinterleave { .. })) {
+        lints.push(Lint::error(
+            "stage-order",
+            "interleaved plan does not end with the deinterleave launch".into(),
+        ));
+    }
 }
 
 /// Prove that the base kernel fits the device for *every* power-of-two
@@ -392,6 +504,67 @@ mod tests {
         }
         let codes = errors(&lint_plan(&plan));
         assert!(codes.contains(&"equation-conservation"), "{codes:?}");
+    }
+
+    fn built_interleaved_plan(m: usize, n: usize) -> SolvePlan {
+        let dev = DeviceSpec::gtx_470();
+        let p = SolverParams {
+            variant: BaseVariant::Interleaved,
+            ..params()
+        };
+        SolvePlan::build(WorkloadShape::new(m, n), &p, dev.queryable(), 4).unwrap()
+    }
+
+    #[test]
+    fn built_interleaved_plans_lint_clean() {
+        for (m, n) in [(65536usize, 32usize), (16384, 64), (100, 48), (32, 1)] {
+            let lints = lint_plan(&built_interleaved_plan(m, n));
+            assert!(errors(&lints).is_empty(), "m={m} n={n}: {lints:?}");
+        }
+    }
+
+    #[test]
+    fn reordered_interleaved_ops_are_caught() {
+        let mut plan = built_interleaved_plan(16384, 64);
+        plan.ops.reverse();
+        assert!(errors(&lint_plan(&plan)).contains(&"stage-order"));
+    }
+
+    #[test]
+    fn interleaved_geometry_drift_is_caught() {
+        let mut plan = built_interleaved_plan(16384, 64);
+        if let Some(StageOp::InterleavedThomas { systems, .. }) = plan.ops.get_mut(1) {
+            *systems /= 2;
+        } else {
+            panic!("expected the batched-Thomas op");
+        }
+        let codes = errors(&lint_plan(&plan));
+        assert!(codes.contains(&"switch-points"), "{codes:?}");
+        assert!(codes.contains(&"equation-conservation"), "{codes:?}");
+    }
+
+    #[test]
+    fn interleaved_batch_floor_violation_is_caught() {
+        let mut plan = built_interleaved_plan(16384, 64);
+        for op in &mut plan.ops {
+            match op {
+                StageOp::InterleavePack { systems, .. }
+                | StageOp::InterleavedThomas { systems, .. }
+                | StageOp::Deinterleave { systems, .. } => *systems = 8,
+                _ => {}
+            }
+        }
+        plan.shape.num_systems = 8;
+        assert!(errors(&lint_plan(&plan)).contains(&"interleave-floor"));
+    }
+
+    #[test]
+    fn mixed_staged_and_interleaved_plan_is_caught() {
+        let mut plan = built_interleaved_plan(16384, 64);
+        let base = built_plan(16384, 64).ops.last().copied().unwrap();
+        plan.ops.push(base);
+        let codes = errors(&lint_plan(&plan));
+        assert!(codes.contains(&"stage-order"), "{codes:?}");
     }
 
     #[test]

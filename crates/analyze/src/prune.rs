@@ -87,6 +87,38 @@ pub fn prune_onchip_axis(q: &QueryableProps, elem_bytes: usize, ceiling: usize) 
     }
 }
 
+/// The outcome of statically pruning the base-layout axis for a workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayoutPrune {
+    /// Layouts whose plan the builder provably accepts for this shape.
+    pub candidates: Vec<BaseVariant>,
+    /// Layouts the builder provably refuses (each is one statically
+    /// pruned candidate class).
+    pub pruned: Vec<BaseVariant>,
+}
+
+/// Statically prune the base-layout axis for a workload shape.
+///
+/// Mirrors the plan builder exactly: the staged layouts (strided,
+/// coalesced) are buildable for every shape, while the interleaved
+/// fast path requires at least
+/// [`INTERLEAVED_MIN_SYSTEMS`](trisolve_core::params::INTERLEAVED_MIN_SYSTEMS)
+/// systems — below that the builder refuses the variant outright, so the
+/// tuner can skip its phase-D probes without pricing a single candidate.
+/// Like the on-chip pruning, this changes *when* the `+inf` verdict is
+/// known, never the search result.
+pub fn prune_layout_axis(shape: trisolve_tridiag::workloads::WorkloadShape) -> LayoutPrune {
+    use trisolve_core::params::INTERLEAVED_MIN_SYSTEMS;
+    let mut candidates = vec![BaseVariant::Strided, BaseVariant::Coalesced];
+    let mut pruned = Vec::new();
+    if shape.num_systems >= INTERLEAVED_MIN_SYSTEMS {
+        candidates.push(BaseVariant::Interleaved);
+    } else {
+        pruned.push(BaseVariant::Interleaved);
+    }
+    LayoutPrune { candidates, pruned }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +152,39 @@ mod tests {
             let p = prune_onchip_axis(dev.queryable(), 4, ONCHIP_SEARCH_CEILING);
             assert!(!p.pruned.is_empty(), "{}", dev.queryable().name);
             assert!(p.proofs_failed >= p.pruned.len());
+        }
+    }
+
+    #[test]
+    fn layout_pruning_mirrors_the_plan_builder() {
+        use trisolve_core::SolvePlan;
+        use trisolve_tridiag::workloads::WorkloadShape;
+        let dev = DeviceSpec::gtx_470();
+        let q = dev.queryable();
+        for m in [1usize, 8, 31, 32, 33, 1024, 65536] {
+            let shape = WorkloadShape::new(m, 64);
+            let prune = prune_layout_axis(shape);
+            for variant in [
+                BaseVariant::Strided,
+                BaseVariant::Coalesced,
+                BaseVariant::Interleaved,
+            ] {
+                let p = SolverParams {
+                    variant,
+                    ..SolverParams::default_untuned()
+                };
+                let buildable = SolvePlan::build(shape, &p, q, 4).is_ok();
+                assert_eq!(
+                    prune.candidates.contains(&variant),
+                    buildable,
+                    "m={m} {variant:?}"
+                );
+                assert_eq!(
+                    prune.pruned.contains(&variant),
+                    !buildable,
+                    "m={m} {variant:?}"
+                );
+            }
         }
     }
 

@@ -5,7 +5,7 @@ use trisolve_core::{BaseVariant, SolvePlan, SolverParams, StageOp};
 use trisolve_gpu_sim::QueryableProps;
 use trisolve_tridiag::workloads::WorkloadShape;
 
-use crate::conflict::{kernel_bank_summaries, predict_variant, BankSummary};
+use crate::conflict::{kernel_bank_summaries, predict_layout, BankSummary};
 use crate::lints::{lint_plan, smem_budget_obligation, Lint, LintLevel};
 use crate::proof::{prove_kernel, KernelProof, Obligation};
 
@@ -26,8 +26,9 @@ pub struct AnalysisReport {
     pub banks: Vec<BankSummary>,
     /// The all-sizes shared-memory budget proof for the plan's params.
     pub budget: Obligation,
-    /// The layout the conflict model predicts for the base kernel's
-    /// stride, next to the layout the plan actually uses.
+    /// The layout the conflict/occupancy model predicts for this workload
+    /// (interleaved in the many-small window, else by the base kernel's
+    /// stride), next to the layout the plan actually uses.
     pub predicted_variant: BaseVariant,
     /// The layout the plan schedules.
     pub planned_variant: BaseVariant,
@@ -158,7 +159,7 @@ pub fn analyze_plan(plan: &SolvePlan, q: &QueryableProps, elem_bytes: usize) -> 
         proofs,
         banks,
         budget,
-        predicted_variant: predict_variant(base_stride, elem_bytes),
+        predicted_variant: predict_layout(plan.shape, base_stride, q, elem_bytes),
         planned_variant,
     }
 }
@@ -218,10 +219,17 @@ mod tests {
 
     #[test]
     fn paper_grid_certifies_on_every_device_and_layout() {
+        use trisolve_core::params::INTERLEAVED_MIN_SYSTEMS;
         for dev in DeviceSpec::paper_devices() {
             let q = dev.queryable();
             for shape in WorkloadShape::paper_grid() {
-                for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+                let mut variants = vec![BaseVariant::Strided, BaseVariant::Coalesced];
+                // The interleaved family joins the sweep wherever the
+                // builder admits it (the batch floor rules elsewhere).
+                if shape.num_systems >= INTERLEAVED_MIN_SYSTEMS {
+                    variants.push(BaseVariant::Interleaved);
+                }
+                for variant in variants {
                     let p = SolverParams {
                         variant,
                         ..params()
@@ -236,6 +244,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interleaved_plan_reports_its_layout_and_certifies() {
+        let dev = DeviceSpec::gtx_470();
+        let q = dev.queryable();
+        let p = SolverParams {
+            variant: BaseVariant::Interleaved,
+            ..params()
+        };
+        let r = analyze_params(WorkloadShape::new(65536, 32), &p, q, 4).unwrap();
+        assert!(r.certified(), "{:?}", r.failures());
+        assert_eq!(r.planned_variant, BaseVariant::Interleaved);
+        // Inside the many-small window the model agrees with the plan.
+        assert_eq!(r.predicted_variant, BaseVariant::Interleaved);
+        assert!(r.plan_summary.contains("ithomas"), "{}", r.plan_summary);
     }
 
     #[test]

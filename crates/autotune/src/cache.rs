@@ -130,10 +130,31 @@ mod tests {
             onchip_size: onchip,
             thomas_switch: 64,
             strided_from_stride: 8,
+            interleaved_below_size: 0,
+            interleaved_from_systems: 0,
             stage1_target_systems: 16,
             elem_bytes: eb,
             evaluations: 42,
         }
+    }
+
+    #[test]
+    fn configs_cached_before_the_layout_axis_still_parse() {
+        use trisolve_core::BaseVariant;
+        use trisolve_tridiag::workloads::WorkloadShape;
+        // A cache serialised before `interleaved_*` existed: the fields are
+        // absent from the JSON. Deserialisation must default them to 0 —
+        // fast path disabled — so old caches keep their exact behaviour.
+        let old = r#"{"entries":{"GeForce GTX 470/f32":{
+            "onchip_size":512,"thomas_switch":64,"strided_from_stride":8,
+            "stage1_target_systems":16,"elem_bytes":4,"evaluations":42}}}"#;
+        let cache = TuningCache::from_json(old).unwrap();
+        let cfg = cache.get("GeForce GTX 470", 4).unwrap();
+        assert_eq!(cfg.interleaved_below_size, 0);
+        assert_eq!(cfg.interleaved_from_systems, 0);
+        // Even a deep many-small batch stays on the staged pipeline.
+        let p = cfg.params_for(WorkloadShape::new(1 << 16, 32));
+        assert_ne!(p.variant, BaseVariant::Interleaved);
     }
 
     #[test]

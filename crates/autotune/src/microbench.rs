@@ -134,6 +134,7 @@ impl<T: GpuScalar> Microbench<T> {
                     arg("onchip_size", params.onchip_size),
                     arg("thomas_switch", params.thomas_switch),
                     arg("variant", format!("{:?}", params.variant)),
+                    arg("layout", params.variant.layout_name()),
                     arg("cost_s", cost),
                     arg("runnable", cost.is_finite()),
                     arg("fault_retries", fault_retries),

@@ -6,7 +6,7 @@ use crate::search::{hill_climb_pow2_traced, SearchStats};
 use crate::space::Pow2Axis;
 use serde::{Deserialize, Serialize};
 use trisolve_core::kernels::{elem_bytes, GpuScalar};
-use trisolve_core::params::prev_power_of_two;
+use trisolve_core::params::{prev_power_of_two, INTERLEAVED_MIN_SYSTEMS};
 use trisolve_core::{BaseVariant, SolverParams};
 use trisolve_gpu_sim::{Gpu, QueryableProps};
 use trisolve_obs::arg;
@@ -44,10 +44,32 @@ impl Tuner for DefaultTuner {
         "default"
     }
 
-    fn params_for(&self, _: WorkloadShape, _: &QueryableProps, _: usize) -> SolverParams {
+    fn params_for(&self, shape: WorkloadShape, _: &QueryableProps, _: usize) -> SolverParams {
+        // Machine-oblivious stage-skip rule: a batch so large that the
+        // interleaved fast path's repacking amortises on *some* device
+        // (tens of thousands of small systems) routes to the interleaved
+        // batched Thomas. Correct everywhere — the default's only promise.
+        if shape.num_systems >= DEFAULT_INTERLEAVED_MIN_BATCH
+            && shape.system_size.next_power_of_two() <= DEFAULT_INTERLEAVED_MAX_SIZE
+        {
+            return SolverParams {
+                variant: BaseVariant::Interleaved,
+                ..SolverParams::default_untuned()
+            };
+        }
         SolverParams::default_untuned()
     }
 }
+
+/// Batch size from which [`DefaultTuner`] dares the interleaved fast path:
+/// machine-oblivious, so conservative — only batches large enough that the
+/// repacking passes amortise on every architecture class.
+pub const DEFAULT_INTERLEAVED_MIN_BATCH: usize = 1 << 16;
+
+/// Largest (padded) system size [`DefaultTuner`] routes to the interleaved
+/// fast path: two warps of unknowns, beyond which the per-thread serial
+/// Thomas phase dominates any coalescing win.
+pub const DEFAULT_INTERLEAVED_MAX_SIZE: usize = 64;
 
 // ---------------------------------------------------------------------------
 
@@ -74,6 +96,20 @@ impl StaticTuner {
     pub fn thomas_guess(device: &QueryableProps) -> usize {
         2 * device.warp_size
     }
+
+    /// The machine-query layout decision: route a batch to the interleaved
+    /// batched-Thomas fast path when the static analyzer's coalescing +
+    /// occupancy model places it in the many-small window (systems of at
+    /// most two warps, a Fermi-class block-capacity gap the staged
+    /// pipeline's tiny blocks cannot fill, and a batch deep enough to
+    /// amortise the repacking passes) — see
+    /// [`trisolve_analyze::many_small_window`].
+    ///
+    /// Like every static guess this uses only queryable properties; the
+    /// dynamic tuner replaces it with a measured switch point.
+    pub fn interleaved_guess(shape: WorkloadShape, device: &QueryableProps) -> bool {
+        trisolve_analyze::many_small_window(shape, device)
+    }
 }
 
 impl Tuner for StaticTuner {
@@ -83,7 +119,7 @@ impl Tuner for StaticTuner {
 
     fn params_for(
         &self,
-        _shape: WorkloadShape,
+        shape: WorkloadShape,
         device: &QueryableProps,
         elem_bytes: usize,
     ) -> SolverParams {
@@ -92,7 +128,11 @@ impl Tuner for StaticTuner {
             stage1_target_systems: Self::stage1_guess(device),
             onchip_size: onchip,
             thomas_switch: Self::thomas_guess(device).min(onchip),
-            variant: BaseVariant::Strided,
+            variant: if Self::interleaved_guess(shape, device) {
+                BaseVariant::Interleaved
+            } else {
+                BaseVariant::Strided
+            },
         }
     }
 }
@@ -101,7 +141,7 @@ impl Tuner for StaticTuner {
 
 /// The result of a dynamic tuning run for one device (and element width) —
 /// "save those results for future runs".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TunedConfig {
     /// Tuned stage-2→3 switch (on-chip subsystem size).
     pub onchip_size: usize,
@@ -111,6 +151,16 @@ pub struct TunedConfig {
     /// coalesced one (phase B of §IV-D). Below it the tuner selects
     /// [`BaseVariant::Coalesced`].
     pub strided_from_stride: usize,
+    /// Largest (padded) system size for which the interleaved batched-Thomas
+    /// fast path beat the staged pipeline on the many-small tuning workload
+    /// (phase D). `0` disables the fast path — also the deserialisation
+    /// default, so configurations cached before the layout axis existed
+    /// parse to their exact pre-axis behaviour.
+    pub interleaved_below_size: usize,
+    /// Smallest batch (system count) at which the interleaved fast path
+    /// still won during tuning; smaller batches take the staged pipeline
+    /// even for qualifying system sizes.
+    pub interleaved_from_systems: usize,
     /// Tuned stage-1→2 switch (independent systems before leaving stage 1).
     pub stage1_target_systems: usize,
     /// Element width this config was tuned for.
@@ -120,10 +170,54 @@ pub struct TunedConfig {
     pub evaluations: usize,
 }
 
+// Hand-written so the two `interleaved_*` fields default to 0 (fast path
+// disabled) when absent: caches written before the layout axis existed
+// must keep their exact pre-axis behaviour. (The vendored serde stand-in
+// has no field attributes, so this cannot be a `#[serde(default)]`.)
+impl Deserialize for TunedConfig {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let required = |k: &'static str| {
+            usize::from_value(v.get(k).unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::msg(format!("TunedConfig.{k}: {e}")))
+        };
+        let defaulted = |k: &'static str| match v.get(k) {
+            None | Some(serde::Value::Null) => Ok(0usize),
+            Some(x) => usize::from_value(x)
+                .map_err(|e| serde::DeError::msg(format!("TunedConfig.{k}: {e}"))),
+        };
+        Ok(TunedConfig {
+            onchip_size: required("onchip_size")?,
+            thomas_switch: required("thomas_switch")?,
+            strided_from_stride: required("strided_from_stride")?,
+            interleaved_below_size: defaulted("interleaved_below_size")?,
+            interleaved_from_systems: defaulted("interleaved_from_systems")?,
+            stage1_target_systems: required("stage1_target_systems")?,
+            elem_bytes: required("elem_bytes")?,
+            evaluations: required("evaluations")?,
+        })
+    }
+}
+
 impl TunedConfig {
     /// Parameters for a workload under this tuned configuration.
     pub fn params_for(&self, shape: WorkloadShape) -> SolverParams {
         let n = shape.system_size.next_power_of_two();
+        // Stage-skip decision: workloads inside the measured many-small
+        // window route to the interleaved batched-Thomas fast path. Every
+        // other shape falls through to the staged pipeline with switch
+        // points untouched, so large-system plans are byte-for-byte what a
+        // pre-layout-axis config produced.
+        if self.interleaved_below_size > 0
+            && n <= self.interleaved_below_size
+            && shape.num_systems >= self.interleaved_from_systems.max(INTERLEAVED_MIN_SYSTEMS)
+        {
+            return SolverParams {
+                stage1_target_systems: self.stage1_target_systems,
+                onchip_size: self.onchip_size,
+                thomas_switch: self.thomas_switch.min(self.onchip_size.min(n)),
+                variant: BaseVariant::Interleaved,
+            };
+        }
         let chain_len = self.onchip_size.min(n);
         let stride = n / chain_len;
         SolverParams {
@@ -152,6 +246,14 @@ pub struct TuningBudget {
     pub fill_system_size: usize,
     /// System size of the phase-C single-system workload.
     pub huge_system_size: usize,
+    /// Batch size (system count) of the phase-D many-small workload. The
+    /// interleaved fast path only ever wins once its two repacking passes
+    /// amortise over tens of thousands of systems, so the probe batch must
+    /// be deep; set below [`INTERLEAVED_MIN_SYSTEMS`] to skip phase D.
+    pub many_small_systems: usize,
+    /// Largest system size the phase-D ladder probes for the layout switch
+    /// point (clamped to [`INTERLEAVED_PROBE_CEILING`]).
+    pub many_small_max_size: usize,
 }
 
 impl Default for TuningBudget {
@@ -159,21 +261,34 @@ impl Default for TuningBudget {
         Self {
             fill_systems_per_sm: 16,
             fill_system_size: 8192,
-            huge_system_size: 1 << 21, // 2M equations, the paper's 1x2M
+            huge_system_size: 1 << 21,   // 2M equations, the paper's 1x2M
+            many_small_systems: 1 << 16, // 64K small systems
+            many_small_max_size: INTERLEAVED_PROBE_CEILING,
         }
     }
 }
 
 impl TuningBudget {
-    /// A small budget for fast tests.
+    /// A small budget for fast tests. The many-small probe batch is far too
+    /// shallow for the interleaved path to ever win, which keeps the phase
+    /// cheap — quick configs simply leave the fast path disabled.
     pub fn quick() -> Self {
         Self {
             fill_systems_per_sm: 4,
             fill_system_size: 2048,
             huge_system_size: 1 << 16,
+            many_small_systems: 2048,
+            many_small_max_size: 64,
         }
     }
 }
+
+/// Largest (padded) system size any tuner will probe the interleaved
+/// batched-Thomas fast path at. Beyond a few warps of unknowns per system
+/// the per-thread serial Thomas phase dominates whatever the layout saves
+/// on memory traffic, so larger sizes are never candidates — and the
+/// phase-D ladder stays a handful of rungs.
+pub const INTERLEAVED_PROBE_CEILING: usize = 128;
 
 /// The dynamic tuner's `onchip_size` axis, derived by *proof* instead of
 /// assumption: the theoretical axis spans up to
@@ -354,15 +469,68 @@ impl DynamicTuner {
             p1 = best_p1;
         }
 
+        // Layout resolution: for a qualifying many-small shape, measure the
+        // interleaved batched-Thomas fast path against the best staged
+        // candidate at the tuned switch points and record the stage-skip
+        // decision. Non-qualifying shapes never pay the extra evaluation,
+        // keeping large-system tuning runs identical to the pre-layout-axis
+        // search.
+        let np = shape.system_size.next_power_of_two();
+        let mut interleaved_below_size = 0usize;
+        let mut interleaved_from_systems = 0usize;
+        if shape.num_systems >= INTERLEAVED_MIN_SYSTEMS && np <= INTERLEAVED_PROBE_CEILING {
+            let t_staged = t_str.min(t_coa);
+            let t_inter = mb.measure(
+                &mut *gpu,
+                shape,
+                &SolverParams {
+                    stage1_target_systems: p1,
+                    onchip_size: onchip,
+                    thomas_switch,
+                    variant: BaseVariant::Interleaved,
+                },
+            );
+            let won = t_inter < t_staged;
+            if won {
+                interleaved_below_size = np;
+                interleaved_from_systems = shape.num_systems;
+            }
+            if tracer.is_enabled() {
+                tracer.instant_now(
+                    "tuner",
+                    "layout-select",
+                    vec![
+                        arg("systems", shape.num_systems),
+                        arg("size", shape.system_size),
+                        arg("staged_s", t_staged),
+                        arg("interleaved_s", t_inter),
+                        arg(
+                            "layout",
+                            if won {
+                                BaseVariant::Interleaved.layout_name()
+                            } else {
+                                variant.layout_name()
+                            },
+                        ),
+                    ],
+                );
+            }
+        }
+
         let stride = shape.system_size.next_power_of_two()
             / onchip.min(shape.system_size.next_power_of_two());
         let config = TunedConfig {
             onchip_size: onchip,
             thomas_switch,
-            strided_from_stride: match variant {
-                BaseVariant::Strided => stride.max(1),
-                BaseVariant::Coalesced => 2 * stride.max(1),
+            // `variant` here is the staged winner (strided vs coalesced);
+            // the interleaved decision is carried separately above.
+            strided_from_stride: if variant == BaseVariant::Strided {
+                stride.max(1)
+            } else {
+                2 * stride.max(1)
             },
+            interleaved_below_size,
+            interleaved_from_systems,
             stage1_target_systems: p1,
             elem_bytes: eb,
             evaluations: mb.measurements - evaluations_before,
@@ -370,6 +538,114 @@ impl DynamicTuner {
         self.trace_tuned(&tracer, &config);
         self.config = Some(config.clone());
         config
+    }
+
+    /// Phase D of the search: the many-small **layout switch**. Walk the
+    /// system-size ladder (32, 64, …, `max_size`) on a `batch_systems`-deep
+    /// batch, measuring the interleaved batched-Thomas fast path against
+    /// the better staged variant at the tuned switch points. The recorded
+    /// switch point is the largest *contiguous* winning prefix of the
+    /// ladder (a gap ends the window — the fast path must not be enabled
+    /// for sizes it loses at). If the fast path won anywhere, the batch
+    /// floor is then found by halving the batch at the winning size until
+    /// the staged pipeline takes over again.
+    ///
+    /// Returns `(interleaved_below_size, interleaved_from_systems)` —
+    /// `(0, 0)` when the fast path never won (or the probe batch is too
+    /// shallow to qualify).
+    fn tune_layout_switch<T: GpuScalar>(
+        &self,
+        gpu: &mut Gpu<T>,
+        mb: &mut Microbench<T>,
+        tracer: &trisolve_obs::Tracer,
+        batch_systems: usize,
+        max_size: usize,
+        staged: SolverParams,
+    ) -> (usize, usize) {
+        // Static pruning of the layout axis: a probe batch the plan
+        // builder provably refuses the interleaved variant for skips the
+        // whole phase without pricing a candidate.
+        if !trisolve_analyze::prune_layout_axis(WorkloadShape::new(batch_systems, 32))
+            .candidates
+            .contains(&BaseVariant::Interleaved)
+        {
+            return (0, 0);
+        }
+        // One ladder rung: best staged variant vs interleaved on `shape`.
+        let probe = |mb: &mut Microbench<T>, gpu: &mut Gpu<T>, shape: WorkloadShape| {
+            let np = shape.system_size.next_power_of_two();
+            let mk = |variant| SolverParams {
+                thomas_switch: staged.thomas_switch.min(staged.onchip_size.min(np)),
+                variant,
+                ..staged
+            };
+            let t_staged = mb
+                .measure(&mut *gpu, shape, &mk(BaseVariant::Strided))
+                .min(mb.measure(&mut *gpu, shape, &mk(BaseVariant::Coalesced)));
+            let t_inter = mb.measure(&mut *gpu, shape, &mk(BaseVariant::Interleaved));
+            let won = t_inter < t_staged;
+            if tracer.is_enabled() {
+                tracer.instant_now(
+                    "tuner",
+                    "layout-probe",
+                    vec![
+                        arg("systems", shape.num_systems),
+                        arg("size", shape.system_size),
+                        arg("staged_s", t_staged),
+                        arg("interleaved_s", t_inter),
+                        arg(
+                            "layout",
+                            if won {
+                                BaseVariant::Interleaved.layout_name()
+                            } else {
+                                "staged"
+                            },
+                        ),
+                    ],
+                );
+            }
+            won
+        };
+
+        let mut below = 0usize;
+        let mut size = 32usize;
+        while size <= max_size {
+            if !probe(mb, gpu, WorkloadShape::new(batch_systems, size)) {
+                break; // contiguous winning prefix only
+            }
+            below = size;
+            size *= 2;
+        }
+
+        let mut from = 0usize;
+        if below > 0 {
+            from = batch_systems;
+            while from / 2 >= INTERLEAVED_MIN_SYSTEMS
+                && probe(mb, gpu, WorkloadShape::new(from / 2, below))
+            {
+                from /= 2;
+            }
+        }
+
+        if tracer.is_enabled() {
+            tracer.instant_now(
+                "tuner",
+                "layout-select",
+                vec![
+                    arg("interleaved_below_size", below),
+                    arg("interleaved_from_systems", from),
+                    arg(
+                        "layout",
+                        if below > 0 {
+                            BaseVariant::Interleaved.layout_name()
+                        } else {
+                            "staged"
+                        },
+                    ),
+                ],
+            );
+        }
+        (below, from)
     }
 
     /// Emit the final `"tuner"/"tuned"` event summarising a tuning run.
@@ -384,6 +660,8 @@ impl DynamicTuner {
                 arg("onchip_size", config.onchip_size),
                 arg("thomas_switch", config.thomas_switch),
                 arg("strided_from_stride", config.strided_from_stride),
+                arg("interleaved_below_size", config.interleaved_below_size),
+                arg("interleaved_from_systems", config.interleaved_from_systems),
                 arg("stage1_target", config.stage1_target_systems),
                 arg("evaluations", config.evaluations),
             ],
@@ -493,10 +771,28 @@ impl DynamicTuner {
                 )
             });
 
+        // ---- Phase D: many-small layout switch ---------------------------
+        let staged = SolverParams {
+            stage1_target_systems: stage1_target,
+            onchip_size: onchip,
+            thomas_switch,
+            variant: BaseVariant::Strided,
+        };
+        let (interleaved_below_size, interleaved_from_systems) = self.tune_layout_switch(
+            gpu,
+            &mut mb,
+            &tracer,
+            budget.many_small_systems,
+            budget.many_small_max_size.min(INTERLEAVED_PROBE_CEILING),
+            staged,
+        );
+
         let config = TunedConfig {
             onchip_size: onchip,
             thomas_switch,
             strided_from_stride: strided_from,
+            interleaved_below_size,
+            interleaved_from_systems,
             stage1_target_systems: stage1_target,
             elem_bytes: eb,
             evaluations: mb.measurements,
@@ -629,6 +925,8 @@ mod tests {
             onchip_size: 512,
             thomas_switch: 128,
             strided_from_stride: 8,
+            interleaved_below_size: 0,
+            interleaved_from_systems: 0,
             stage1_target_systems: 16,
             elem_bytes: 4,
             evaluations: 0,
@@ -682,6 +980,192 @@ mod tests {
         };
         assert!(get("candidates_pruned") >= 1, "{counters:?}");
         assert!(get("proofs_failed") >= 1, "{counters:?}");
+    }
+
+    #[test]
+    fn tuned_config_gates_interleaved_by_shape() {
+        let cfg = TunedConfig {
+            onchip_size: 512,
+            thomas_switch: 128,
+            strided_from_stride: 8,
+            interleaved_below_size: 64,
+            interleaved_from_systems: 16384,
+            stage1_target_systems: 16,
+            elem_bytes: 4,
+            evaluations: 0,
+        };
+        // Inside the measured window: interleaved fast path.
+        assert_eq!(
+            cfg.params_for(WorkloadShape::new(16384, 64)).variant,
+            BaseVariant::Interleaved
+        );
+        assert_eq!(
+            cfg.params_for(WorkloadShape::new(1 << 20, 32)).variant,
+            BaseVariant::Interleaved
+        );
+        // Too large (65 pads to 128 > 64), too shallow, or huge systems:
+        // the staged pipeline, with decisions identical to a config that
+        // never had the layout axis.
+        let mut legacy = cfg.clone();
+        legacy.interleaved_below_size = 0;
+        legacy.interleaved_from_systems = 0;
+        for shape in [
+            WorkloadShape::new(16384, 65),
+            WorkloadShape::new(8192, 64),
+            WorkloadShape::new(16384, 512),
+            WorkloadShape::new(10, 4096),
+            WorkloadShape::new(1, 1 << 20),
+        ] {
+            let p = cfg.params_for(shape);
+            assert_ne!(p.variant, BaseVariant::Interleaved, "{shape:?}");
+            assert_eq!(p, legacy.params_for(shape), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn default_tuner_gates_interleaved_on_batch_depth() {
+        let t = DefaultTuner;
+        let dev = DeviceSpec::gtx_280();
+        let q = dev.queryable();
+        let many_small = WorkloadShape::new(DEFAULT_INTERLEAVED_MIN_BATCH, 32);
+        assert_eq!(
+            t.params_for(many_small, q, 4).variant,
+            BaseVariant::Interleaved
+        );
+        // Machine-oblivious: the same decision on every device.
+        assert_eq!(
+            t.params_for(many_small, q, 4),
+            t.params_for(many_small, DeviceSpec::gtx_470().queryable(), 4)
+        );
+        // Shallow batches and large systems keep the paper defaults.
+        for shape in [
+            WorkloadShape::new(100, 32),
+            WorkloadShape::new(DEFAULT_INTERLEAVED_MIN_BATCH, 1000),
+        ] {
+            assert_eq!(t.params_for(shape, q, 4), SolverParams::default_untuned());
+        }
+    }
+
+    #[test]
+    fn static_tuner_guesses_interleaved_only_for_fermi_many_small() {
+        let t = StaticTuner;
+        let shape = WorkloadShape::new(16384, 64);
+        // 470: blocks of two warps against a 1024-thread block cap, batch
+        // beyond 1K systems/SM — the machine-query gate fires.
+        assert_eq!(
+            t.params_for(shape, DeviceSpec::gtx_470().queryable(), 4)
+                .variant,
+            BaseVariant::Interleaved
+        );
+        // Same shape on the 512-thread-cap parts: staged.
+        for d in [DeviceSpec::gtx_280(), DeviceSpec::geforce_8800_gtx()] {
+            assert_eq!(
+                t.params_for(shape, d.queryable(), 4).variant,
+                BaseVariant::Strided
+            );
+        }
+        // On the 470 but too shallow / too large: staged.
+        for shape in [WorkloadShape::new(4096, 64), WorkloadShape::new(16384, 512)] {
+            assert_eq!(
+                t.params_for(shape, DeviceSpec::gtx_470().queryable(), 4)
+                    .variant,
+                BaseVariant::Strided
+            );
+        }
+        // The gated guess still validates everywhere it fires.
+        StaticTuner
+            .params_for(shape, DeviceSpec::gtx_470().queryable(), 4)
+            .validate(DeviceSpec::gtx_470().queryable(), 4)
+            .unwrap();
+    }
+
+    #[test]
+    fn dynamic_tuner_finds_the_interleaved_switch_on_fermi() {
+        // The measured stage-skip decision: on the GTX 470 a deep batch of
+        // small systems runs faster through the interleaved batched-Thomas
+        // path, and phase D must find that switch point. The same budget on
+        // the GTX 280 must leave the fast path disabled (it loses there).
+        let budget = TuningBudget {
+            many_small_systems: 16384,
+            many_small_max_size: 32,
+            ..TuningBudget::quick()
+        };
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        let mut dt = DynamicTuner::new();
+        let cfg = dt.tune(&mut gpu, budget);
+        assert_eq!(cfg.interleaved_below_size, 32, "{cfg:?}");
+        assert!(cfg.interleaved_from_systems >= INTERLEAVED_MIN_SYSTEMS);
+        assert!(cfg.interleaved_from_systems <= 16384);
+        assert_eq!(
+            cfg.params_for(WorkloadShape::new(16384, 32)).variant,
+            BaseVariant::Interleaved
+        );
+        assert_ne!(
+            cfg.params_for(WorkloadShape::new(16384, 2048)).variant,
+            BaseVariant::Interleaved
+        );
+
+        let mut gpu280: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+        let cfg280 = DynamicTuner::new().tune(&mut gpu280, budget);
+        assert_eq!(cfg280.interleaved_below_size, 0, "{cfg280:?}");
+        assert_ne!(
+            cfg280.params_for(WorkloadShape::new(16384, 32)).variant,
+            BaseVariant::Interleaved
+        );
+    }
+
+    #[test]
+    fn tune_for_resolves_layout_only_for_qualifying_shapes() {
+        // A qualifying shape where the staged pipeline wins: the layout is
+        // probed (one extra evaluation) but the fast path stays disabled.
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_280());
+        let mut dt = DynamicTuner::new();
+        let cfg = dt.tune_for(&mut gpu, WorkloadShape::new(64, 32));
+        assert_eq!(cfg.interleaved_below_size, 0);
+        assert_eq!(cfg.interleaved_from_systems, 0);
+        // A large-system shape is never probed, so the tuning run is the
+        // same search the pre-layout-axis tuner performed.
+        let cfg = dt.tune_for(&mut gpu, WorkloadShape::new(16, 2048));
+        assert_eq!(cfg.interleaved_below_size, 0);
+        assert_ne!(
+            cfg.params_for(WorkloadShape::new(16, 2048)).variant,
+            BaseVariant::Interleaved
+        );
+    }
+
+    #[test]
+    fn layout_probes_are_visible_in_the_trace() {
+        // Satellite of the layout axis: every candidate evaluation carries
+        // a `layout` arg and phase D emits `layout-probe`/`layout-select`
+        // events, so a trace viewer can tell the three layouts apart.
+        let mut gpu: Gpu<f32> = Gpu::new(DeviceSpec::gtx_470());
+        gpu.set_tracer(trisolve_obs::Tracer::enabled());
+        let mut dt = DynamicTuner::new();
+        dt.tune(
+            &mut gpu,
+            TuningBudget {
+                many_small_systems: 2048,
+                many_small_max_size: 32,
+                ..TuningBudget::quick()
+            },
+        );
+        let events = gpu.tracer().events();
+        let named = |n: &str| events.iter().filter(|e| e.name == n).count();
+        assert!(named("layout-probe") >= 1);
+        assert!(named("layout-select") >= 1);
+        let layout_args: Vec<String> = events
+            .iter()
+            .filter(|e| e.name == "eval")
+            .map(|e| format!("{:?}", e.args))
+            .collect();
+        assert!(!layout_args.is_empty());
+        assert!(layout_args
+            .iter()
+            .all(|a| a.contains("\"layout\"") || a.contains("layout")));
+        assert!(
+            layout_args.iter().any(|a| a.contains("interleaved")),
+            "phase D must evaluate the interleaved layout at least once"
+        );
     }
 
     #[test]

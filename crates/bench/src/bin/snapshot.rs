@@ -1,6 +1,8 @@
 //! Machine-readable benchmark snapshot: per-device, per-workload solve
-//! costs for all three tuners, plus tuner-evaluation counts and the
-//! trace-derived launch/byte counters of the tuned solve.
+//! costs for all three tuners, plus tuner-evaluation counts, the
+//! trace-derived launch/byte counters of the tuned solve, and the
+//! many-small layout comparison (staged PCR vs interleaved
+//! batched-Thomas, with the layout each tuner selects).
 //!
 //! Prints one JSON document to stdout; `scripts/bench_snapshot.sh` wraps
 //! this into numbered `BENCH_<n>.json` files for regression comparison.
@@ -21,6 +23,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let shrink = if quick { 4 } else { 1 };
     let grid = experiments::paper_grid(shrink);
+    let many_small_grid = experiments::many_small_grid(if quick { 4 } else { 1 });
 
     let mut devices = Vec::new();
     for dev in DeviceSpec::paper_devices() {
@@ -103,9 +106,29 @@ fn main() {
                 "residual_checks": counter("residual_checks"),
             }));
         }
+        // The many-small regime: staged PCR vs the interleaved
+        // batched-Thomas fast path, and the layout every tuner picks.
+        let many_small: Vec<_> = experiments::many_small_comparison(&dev, &many_small_grid)
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "workload": r.shape.label(),
+                    "systems": r.shape.num_systems,
+                    "size": r.shape.system_size,
+                    "staged_pcr_ms": r.staged_pcr_ms,
+                    "batched_thomas_ms": r.batched_thomas_ms,
+                    "interleaved_wins": r.interleaved_wins(),
+                    "untuned_layout": r.untuned_variant.layout_name(),
+                    "static_layout": r.static_variant.layout_name(),
+                    "dynamic_layout": r.dynamic_variant.layout_name(),
+                })
+            })
+            .collect();
+
         devices.push(serde_json::json!({
             "device": q.name,
             "workloads": workloads,
+            "many_small": many_small,
         }));
     }
 

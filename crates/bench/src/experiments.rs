@@ -360,6 +360,109 @@ pub fn fig8_comparison(shapes: &[WorkloadShape]) -> Vec<Fig8Row> {
 }
 
 // ---------------------------------------------------------------------------
+// Many-small layout comparison: staged PCR vs interleaved batched-Thomas
+// ---------------------------------------------------------------------------
+
+/// One row of the many-small layout comparison: the staged pipeline's
+/// best time against the interleaved batched-Thomas fast path, plus the
+/// layout each of the three tuners selects for the shape.
+#[derive(Debug, Clone)]
+pub struct ManySmallRow {
+    /// Workload shape.
+    pub shape: WorkloadShape,
+    /// Best staged time (strided or coalesced base kernel), ms.
+    pub staged_pcr_ms: f64,
+    /// Interleaved batched-Thomas time, ms.
+    pub batched_thomas_ms: f64,
+    /// Layout the machine-oblivious default tuner selects.
+    pub untuned_variant: trisolve_core::BaseVariant,
+    /// Layout the machine-query (static) tuner selects.
+    pub static_variant: trisolve_core::BaseVariant,
+    /// Layout the measured (dynamic) tuner selects after tuning on the
+    /// device at this exact shape.
+    pub dynamic_variant: trisolve_core::BaseVariant,
+}
+
+impl ManySmallRow {
+    /// True when the fast path beats the staged pipeline on this row.
+    pub fn interleaved_wins(&self) -> bool {
+        self.batched_thomas_ms < self.staged_pcr_ms
+    }
+}
+
+/// Compare the staged pipeline against the interleaved batched-Thomas
+/// fast path over the many-small grid on one device.
+///
+/// Both sides run the static tuner's switch points so the comparison
+/// isolates the layout axis; the row also records which layout each
+/// tuner strategy would pick, making the snapshot show *when* the
+/// selection logic agrees with the measurement.
+pub fn many_small_comparison(device: &DeviceSpec, shapes: &[WorkloadShape]) -> Vec<ManySmallRow> {
+    use trisolve_core::BaseVariant;
+    let q = device.queryable().clone();
+    shapes
+        .iter()
+        .map(|&shape| {
+            let batch: SystemBatch<f32> = random_dominant(shape, EXPERIMENT_SEED).unwrap();
+            let staged_base = trisolve_autotune::tuners::clamp_to_device(
+                SolverParams {
+                    variant: BaseVariant::Strided,
+                    ..StaticTuner.params_for(shape, &q, 4)
+                },
+                &q,
+                4,
+            );
+            let staged_pcr_ms = [BaseVariant::Strided, BaseVariant::Coalesced]
+                .into_iter()
+                .map(|variant| {
+                    solve_ms(
+                        device,
+                        &batch,
+                        &SolverParams {
+                            variant,
+                            ..staged_base
+                        },
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            let batched_thomas_ms = solve_ms(
+                device,
+                &batch,
+                &SolverParams {
+                    variant: BaseVariant::Interleaved,
+                    ..staged_base
+                },
+            );
+            let mut dynamic = DynamicTuner::new();
+            {
+                let mut gpu: Gpu<f32> = Gpu::new(device.clone());
+                dynamic.tune_for(&mut gpu, shape);
+            }
+            ManySmallRow {
+                shape,
+                staged_pcr_ms,
+                batched_thomas_ms,
+                untuned_variant: DefaultTuner.params_for(shape, &q, 4).variant,
+                static_variant: StaticTuner.params_for(shape, &q, 4).variant,
+                dynamic_variant: dynamic.params_for(shape, &q, 4).variant,
+            }
+        })
+        .collect()
+}
+
+/// The many-small workload grid, batch-shrunk for quick runs: system
+/// sizes stay as-is (they are already small — shrinking them would leave
+/// the regime under test), while the batch keeps the interleaved plan's
+/// 32-system floor.
+pub fn many_small_grid(shrink: usize) -> Vec<WorkloadShape> {
+    assert!(shrink >= 1);
+    WorkloadShape::many_small_grid()
+        .into_iter()
+        .map(|s| WorkloadShape::new((s.num_systems / shrink).max(32), s.system_size))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 
 /// The paper's Figure 7/8 workload grid, optionally scaled down by `shrink`
 /// (a power of two) for fast runs: each dimension of every workload is

@@ -21,7 +21,10 @@
 //!   the launch-by-launch [`KernelStats`], replacing ad-hoc accounting in
 //!   the reporting binaries.
 
-use crate::kernels::{base_solve, elem_bytes, stage1_step, stage2_split, CoeffBuffers, GpuScalar};
+use crate::kernels::{
+    base_solve, deinterleave_solution, elem_bytes, interleave_batch, ithomas_solve, stage1_step,
+    stage2_split, CoeffBuffers, GpuScalar,
+};
 use crate::params::SolverParams;
 use crate::plan::{SolvePlan, StageOp};
 use crate::solver::SolveOutcome;
@@ -437,12 +440,28 @@ impl<T: GpuScalar> SolveSession<T> {
                         variant,
                     )?;
                 }
+                StageOp::InterleavePack { systems, size } => {
+                    interleave_batch(gpu, cur, alt, systems, size)?;
+                    std::mem::swap(&mut cur, &mut alt);
+                }
+                StageOp::InterleavedThomas { systems, size } => {
+                    // The interleaved solution lands in the *other* bundle's
+                    // first buffer (free scratch after the pack's swap), so
+                    // the session needs no extra allocation.
+                    ithomas_solve(gpu, cur, alt[0], systems, size)?;
+                }
+                StageOp::Deinterleave { systems, size } => {
+                    deinterleave_solution(gpu, alt[0], x, systems, size)?;
+                }
             }
             if tracer.is_enabled() {
                 let stage = match *op {
                     StageOp::Stage1Split { .. } => "stage1",
                     StageOp::Stage2Split { .. } => "stage2",
                     StageOp::BaseSolve { .. } => "base",
+                    StageOp::InterleavePack { .. } => "interleave",
+                    StageOp::InterleavedThomas { .. } => "ithomas",
+                    StageOp::Deinterleave { .. } => "deinterleave",
                 };
                 tracer.span(
                     "engine",
@@ -847,6 +866,46 @@ mod tests {
         // 2 stage1 doublings (4 → 8 → 16 systems) + stage2 + base.
         assert_eq!(solve.arg_u64("launches"), Some(4));
         assert_eq!(solve.arg_u64("onchip_size"), Some(512));
+    }
+
+    #[test]
+    fn interleaved_solve_reuses_session_buffers_and_spans_every_op() {
+        // The stage-skip path must run inside the session's existing nine
+        // buffers (pack into dst, solve into src-scratch — here alt[0] —
+        // and deinterleave into x) and emit one engine span per op.
+        let shape = WorkloadShape::new(2048, 64);
+        let p = SolverParams {
+            variant: BaseVariant::Interleaved,
+            ..params(16, 256, 32)
+        };
+        let mut gpu: Gpu<f64> = Gpu::new(DeviceSpec::gtx_470());
+        let tracer = trisolve_obs::Tracer::enabled();
+        gpu.set_tracer(tracer.clone());
+        let batch = random_dominant::<f64>(shape, 13).unwrap();
+        let mut session = SolveSession::new(&mut gpu, shape).unwrap();
+        let outcome = session.solve(&mut gpu, &batch, &p).unwrap();
+
+        assert_eq!(outcome.plan.num_launches(), 3);
+        let res = batch_worst_relative_residual(&batch, &outcome.x).unwrap();
+        assert!(res < 1e-10, "residual {res:.3e}");
+
+        let events = tracer.events();
+        let engine_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.cat == "engine")
+            .map(|e| e.name.as_str())
+            .collect();
+        for stage in ["interleave", "ithomas", "deinterleave"] {
+            assert!(engine_names.contains(&stage), "missing span {stage}");
+        }
+
+        // Same answer as the staged pipeline (up to solver round-off).
+        let staged = session
+            .solve(&mut gpu, &batch, &params(16, 256, 32))
+            .unwrap();
+        for (u, v) in outcome.x.iter().zip(&staged.x) {
+            assert!((u - v).abs() < 1e-8);
+        }
     }
 
     #[test]

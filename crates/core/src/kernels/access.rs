@@ -385,7 +385,10 @@ pub fn base_access_summary(
     // gathers directly at the chain stride.
     let warp_stride = match variant {
         BaseVariant::Strided => stride,
-        BaseVariant::Coalesced => 1,
+        // Coalesced streams contiguous tiles. Interleaved never reaches the
+        // base kernel (the plan replaces the whole staged pipeline with the
+        // batched-Thomas family), but the summary stays total.
+        BaseVariant::Coalesced | BaseVariant::Interleaved => 1,
     };
     let one_per_thread = SmemOwner {
         row_len: chain_len,
@@ -554,6 +557,119 @@ pub fn unpack_access_summary(m: usize, n: usize, stride: usize) -> KernelAccessS
                 site: "unpack::scatter",
                 is_write: true,
                 map: chain_map(m, n, stride, chain_len),
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: true,
+            },
+        ],
+        intervals: transpose_tile_intervals(),
+    }
+}
+
+/// The fully *interleaved* batch map: element `j` of system `s` sits at
+/// `j·m + s`, i.e. the affine map with coefficient `batch` on the element
+/// variable. With `s ∈ [0, m)` and `j ∈ [0, n)` this is a perfect
+/// mixed-radix decomposition of `[0, m·n)` — injective and exactly
+/// covering, so the write-partition and OOB proofs extend to the
+/// interleaved family with no new abstract domain.
+fn interleaved_map(m: usize, n: usize) -> AffineMap {
+    AffineMap::at(0).term("s", 1, m).term("j", m, n)
+}
+
+/// The system-major batch map (system `s` contiguous at `s·n`): the layout
+/// the host uploads and the transpose passes convert from/to.
+fn system_major_map(m: usize, n: usize) -> AffineMap {
+    AffineMap::at(0).term("j", 1, n).term("s", n, m)
+}
+
+/// Access summary of the interleave (transpose-in) pass
+/// (`interleave_config(m, n, _)`): system-major read, interleaved
+/// scatter, staged through the same padded 32×33 tile as the chain
+/// repack so both global sides are coalesced.
+pub fn interleave_access_summary(m: usize, n: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        label: format!("interleave[{m}x{n}]"),
+        buffer_len: m * n,
+        block_threads: 256.min(n.max(32)),
+        smem_elems: 32 * 33,
+        global: vec![
+            GlobalAccess {
+                site: "interleave::load",
+                is_write: false,
+                map: system_major_map(m, n),
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: false,
+            },
+            GlobalAccess {
+                site: "interleave::scatter",
+                is_write: true,
+                map: interleaved_map(m, n),
+                // The tile absorbs the transpose: coalesced on both sides.
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: true,
+            },
+        ],
+        intervals: transpose_tile_intervals(),
+    }
+}
+
+/// Access summary of the single-kernel batched-Thomas solve
+/// (`ithomas_config(m, n, _)`): thread `s` walks system `s` through the
+/// interleaved coefficients — every access warp-stride 1 by construction —
+/// with no shared memory and no barriers at all, which is exactly why the
+/// family wins the many-small regime.
+pub fn ithomas_access_summary(m: usize, n: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        label: format!("ithomas[{m}x{n}]"),
+        buffer_len: m * n,
+        block_threads: 256.min(m.max(32)),
+        smem_elems: 0,
+        global: vec![
+            GlobalAccess {
+                site: "ithomas::load",
+                is_write: false,
+                map: interleaved_map(m, n),
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: false,
+            },
+            GlobalAccess {
+                site: "ithomas::store",
+                is_write: true,
+                map: interleaved_map(m, n),
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: true,
+            },
+        ],
+        intervals: Vec::new(),
+    }
+}
+
+/// Access summary of the deinterleave (transpose-out) pass
+/// (`deinterleave_config(m, n, _)`): interleaved read of the solution,
+/// system-major scatter, same padded tile.
+pub fn deinterleave_access_summary(m: usize, n: usize) -> KernelAccessSummary {
+    KernelAccessSummary {
+        label: format!("deinterleave[{m}x{n}]"),
+        buffer_len: m * n,
+        block_threads: 256.min(n.max(32)),
+        smem_elems: 32 * 33,
+        global: vec![
+            GlobalAccess {
+                site: "deinterleave::load",
+                is_write: false,
+                map: interleaved_map(m, n),
+                warp_stride: 1,
+                clamped_neighbours: false,
+                exclusive: false,
+            },
+            GlobalAccess {
+                site: "deinterleave::scatter",
+                is_write: true,
+                map: system_major_map(m, n),
                 warp_stride: 1,
                 clamped_neighbours: false,
                 exclusive: true,
@@ -813,6 +929,14 @@ mod tests {
         let u = unpack_access_summary(2, 1024, 16);
         assert_eq!(u.global[1].site, "unpack::scatter");
 
+        let il = interleave_access_summary(65536, 64);
+        assert_eq!(il.global[1].map.coeff_of("j"), 65536, "coefficient batch");
+        let it = ithomas_access_summary(65536, 64);
+        assert!(it.intervals.is_empty() && it.smem_elems == 0);
+        assert!(it.global.iter().all(|g| g.warp_stride == 1));
+        let dl = deinterleave_access_summary(65536, 64);
+        assert_eq!(dl.global[1].site, "deinterleave::scatter");
+
         for algo in [
             BaselineAlgo::Pcr,
             BaselineAlgo::Cr,
@@ -821,6 +945,20 @@ mod tests {
             let s = baseline_access_summary(8, 256, 256, 1, algo);
             assert!(!s.intervals.is_empty(), "{algo:?}");
             assert_eq!(s.buffer_len, 8 * 256);
+        }
+    }
+
+    #[test]
+    fn interleaved_map_is_a_mixed_radix_bijection() {
+        // s + j·m over s∈[0,m), j∈[0,n): injective, exactly covering
+        // [0, m·n) — the property the write-partition proof relies on.
+        for (m, n) in [(65536usize, 64usize), (100, 48), (32, 1)] {
+            let map = interleaved_map(m, n);
+            assert!(map.is_injective(), "m={m} n={n}");
+            assert!(map.covers_exactly(), "m={m} n={n}");
+            assert_eq!(map.max_index(), Some(m * n - 1));
+            let back = system_major_map(m, n);
+            assert!(back.is_injective() && back.covers_exactly());
         }
     }
 

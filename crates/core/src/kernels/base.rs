@@ -119,7 +119,10 @@ pub fn base_solve<T: GpuScalar>(
             chain.gather(io.inputs[3]),
         );
         match variant {
-            BaseVariant::Strided => {
+            // Interleaved plans never emit a BaseSolve op (the batched-Thomas
+            // family replaces the whole staged pipeline); if one is forced
+            // through anyway the gather behaves like the strided load.
+            BaseVariant::Strided | BaseVariant::Interleaved => {
                 ctx.gmem_read(4 * chain_len, stride);
             }
             BaseVariant::Coalesced => {

@@ -10,17 +10,23 @@
 pub mod access;
 pub mod base;
 pub mod baselines;
+pub mod interleaved;
 pub mod repack;
 pub mod stage1;
 pub mod stage2;
 
 pub use access::{
-    base_access_summary, baseline_access_summary, repack_access_summary, stage1_access_summary,
-    stage2_access_summary, unpack_access_summary, AffineMap, AffineTerm, BarrierInterval,
-    GlobalAccess, KernelAccessSummary, SmemAccess, SmemOwner,
+    base_access_summary, baseline_access_summary, deinterleave_access_summary,
+    interleave_access_summary, ithomas_access_summary, repack_access_summary,
+    stage1_access_summary, stage2_access_summary, unpack_access_summary, AffineMap, AffineTerm,
+    BarrierInterval, GlobalAccess, KernelAccessSummary, SmemAccess, SmemOwner,
 };
 pub use base::{base_config, base_solve};
 pub use baselines::{baseline_config, baseline_solve, BaselineAlgo};
+pub use interleaved::{
+    deinterleave_config, deinterleave_solution, interleave_batch, interleave_config,
+    ithomas_config, ithomas_solve,
+};
 pub use repack::{repack_chains, repack_config, unpack_config, unpack_solution};
 pub use stage1::{stage1_config, stage1_step};
 pub use stage2::{stage2_config, stage2_split};

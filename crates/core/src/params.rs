@@ -18,6 +18,12 @@ pub const SPLIT_KERNEL_REGS_PER_THREAD: usize = 16;
 /// Threads per block used by the splitting kernels.
 pub const SPLIT_KERNEL_THREADS: usize = 256;
 
+/// Minimum batch size for [`BaseVariant::Interleaved`]: with fewer systems
+/// than a warp, consecutive threads cannot own consecutive systems and the
+/// layout's coalescing premise collapses, so the plan builder refuses the
+/// variant outright (and the tuners' pruning hook inherits the rule).
+pub const INTERLEAVED_MIN_SYSTEMS: usize = 32;
+
 /// Which base-kernel memory layout to use when subsystems are strided
 /// chains of a larger parent system (paper §III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -29,6 +35,27 @@ pub enum BaseVariant {
     /// Load contiguous tiles covering the chain (perfectly coalesced but
     /// over-fetching `stride`× the payload), staging through shared memory.
     Coalesced,
+    /// Skip the staged pipeline entirely: repack the batch into fully
+    /// *interleaved* layout (system `i`'s element `j` at `j·batch + i`),
+    /// solve every system with one thread running the serial Thomas
+    /// algorithm, and repack the solution back. Every global access is
+    /// perfectly coalesced across the warp's systems, so this wins for
+    /// huge batches of small systems (the many-small regime) despite the
+    /// two extra transpose passes.
+    Interleaved,
+}
+
+impl BaseVariant {
+    /// Lower-case memory-layout name for trace labels. Tuner telemetry
+    /// attaches this to every candidate evaluation so trace viewers can
+    /// group rows by layout and distinguish all three variants.
+    pub fn layout_name(self) -> &'static str {
+        match self {
+            BaseVariant::Strided => "strided",
+            BaseVariant::Coalesced => "coalesced",
+            BaseVariant::Interleaved => "interleaved",
+        }
+    }
 }
 
 /// The multi-stage solver's tunable parameters.

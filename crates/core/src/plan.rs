@@ -3,8 +3,11 @@
 
 use crate::error::CoreError;
 use crate::kernels;
-use crate::kernels::{base_config, stage1_config, stage2_config};
-use crate::params::{BaseVariant, SolverParams};
+use crate::kernels::{
+    base_config, deinterleave_config, interleave_config, ithomas_config, stage1_config,
+    stage2_config,
+};
+use crate::params::{BaseVariant, SolverParams, INTERLEAVED_MIN_SYSTEMS};
 use crate::Result;
 use serde::Serialize;
 use trisolve_gpu_sim::{validate_launches, LaunchConfig, QueryableProps, ValidationReport};
@@ -46,6 +49,31 @@ pub enum StageOp {
         thomas_chains: usize,
         /// Memory-layout variant.
         variant: BaseVariant,
+    },
+    /// Transpose the batch from system-major into fully interleaved layout
+    /// (element `j` of system `s` moves to `j·systems + s`) — the entry op
+    /// of the stage-skip [`BaseVariant::Interleaved`] plan.
+    InterleavePack {
+        /// Number of systems (`batch`, the interleaved map's coefficient).
+        systems: usize,
+        /// Padded equations per system.
+        size: usize,
+    },
+    /// The single-kernel batched-Thomas solve over the interleaved batch:
+    /// one thread per system, no PCR stages at all.
+    InterleavedThomas {
+        /// Number of systems (= threads).
+        systems: usize,
+        /// Padded equations per system.
+        size: usize,
+    },
+    /// Transpose the interleaved solution back to system-major layout —
+    /// the exit op of the stage-skip plan.
+    Deinterleave {
+        /// Number of systems.
+        systems: usize,
+        /// Padded equations per system.
+        size: usize,
     },
 }
 
@@ -114,6 +142,45 @@ impl SolvePlan {
         }
         let m = shape.num_systems;
         let n = shape.system_size.next_power_of_two();
+
+        // The stage-skip fast path: no splitting, no on-chip stage — repack
+        // into interleaved layout, one batched-Thomas launch, repack back.
+        // Only admissible with at least a warp's worth of systems, otherwise
+        // the layout's coalescing premise (consecutive threads own
+        // consecutive systems) collapses.
+        if params.variant == BaseVariant::Interleaved {
+            if m < INTERLEAVED_MIN_SYSTEMS {
+                return Err(CoreError::BadParams {
+                    detail: format!(
+                        "Interleaved layout needs >= {INTERLEAVED_MIN_SYSTEMS} systems, got {m}"
+                    ),
+                });
+            }
+            let ops = vec![
+                StageOp::InterleavePack {
+                    systems: m,
+                    size: n,
+                },
+                StageOp::InterleavedThomas {
+                    systems: m,
+                    size: n,
+                },
+                StageOp::Deinterleave {
+                    systems: m,
+                    size: n,
+                },
+            ];
+            return Ok(SolvePlan {
+                shape,
+                padded_size: n,
+                params: *params,
+                stage1_steps: 0,
+                stage2_steps: 0,
+                chain_len: n,
+                split_factor: 1,
+                ops,
+            });
+        }
 
         let chain_len = params.onchip_size.min(n);
         let split_factor = n / chain_len;
@@ -210,6 +277,15 @@ impl SolvePlan {
                     variant,
                     elem_bytes,
                 ),
+                StageOp::InterleavePack { systems, size } => {
+                    interleave_config(systems, size, elem_bytes)
+                }
+                StageOp::InterleavedThomas { systems, size } => {
+                    ithomas_config(systems, size, elem_bytes)
+                }
+                StageOp::Deinterleave { systems, size } => {
+                    deinterleave_config(systems, size, elem_bytes)
+                }
             })
             .collect()
     }
@@ -245,6 +321,15 @@ impl SolvePlan {
                     thomas_chains,
                     variant,
                 ),
+                StageOp::InterleavePack { systems, size } => {
+                    kernels::access::interleave_access_summary(systems, size)
+                }
+                StageOp::InterleavedThomas { systems, size } => {
+                    kernels::access::ithomas_access_summary(systems, size)
+                }
+                StageOp::Deinterleave { systems, size } => {
+                    kernels::access::deinterleave_access_summary(systems, size)
+                }
             })
             .collect()
     }
@@ -267,11 +352,16 @@ impl SolvePlan {
         if self.stage2_steps > 0 {
             parts.push(format!("stage2(x{})", self.stage2_steps));
         }
-        if let Some(StageOp::BaseSolve {
-            chain_len, stride, ..
-        }) = self.ops.last()
-        {
-            parts.push(format!("base[{chain_len}@{stride}]"));
+        match self.ops.last() {
+            Some(StageOp::BaseSolve {
+                chain_len, stride, ..
+            }) => parts.push(format!("base[{chain_len}@{stride}]")),
+            Some(StageOp::Deinterleave { systems, size }) => {
+                parts.push(format!(
+                    "interleave + ithomas[{systems}x{size}] + deinterleave"
+                ));
+            }
+            _ => {}
         }
         format!("{}: {}", self.shape.label(), parts.join(" + "))
     }
@@ -456,6 +546,69 @@ mod tests {
                 panic!("plan must end with BaseSolve");
             }
         }
+    }
+
+    #[test]
+    fn interleaved_plan_skips_every_stage() {
+        let mut p = params(16, 256, 32);
+        p.variant = BaseVariant::Interleaved;
+        let plan = SolvePlan::build(WorkloadShape::new(65536, 64), &p, &q470(), 4).unwrap();
+        assert_eq!(plan.stage1_steps, 0);
+        assert_eq!(plan.stage2_steps, 0);
+        assert_eq!(plan.split_factor, 1);
+        assert_eq!(plan.chain_len, 64);
+        assert_eq!(
+            plan.ops,
+            vec![
+                StageOp::InterleavePack {
+                    systems: 65536,
+                    size: 64
+                },
+                StageOp::InterleavedThomas {
+                    systems: 65536,
+                    size: 64
+                },
+                StageOp::Deinterleave {
+                    systems: 65536,
+                    size: 64
+                },
+            ]
+        );
+        // Configs and summaries stay zipped 1:1 with the ops.
+        let cfgs = plan.launch_configs(4);
+        let sums = plan.access_summaries();
+        assert_eq!(cfgs.len(), 3);
+        assert_eq!(sums.len(), 3);
+        for (c, s) in cfgs.iter().zip(&sums) {
+            assert_eq!(c.label, s.label);
+        }
+        assert!(!plan.validate(&q470(), 4).has_errors());
+        assert!(plan.summary().contains("ithomas[65536x64]"));
+    }
+
+    #[test]
+    fn interleaved_plan_pads_system_size() {
+        let mut p = params(16, 256, 32);
+        p.variant = BaseVariant::Interleaved;
+        let plan = SolvePlan::build(WorkloadShape::new(1024, 48), &p, &q470(), 8).unwrap();
+        assert_eq!(plan.padded_size, 64);
+        assert!(matches!(
+            plan.ops[1],
+            StageOp::InterleavedThomas {
+                systems: 1024,
+                size: 64
+            }
+        ));
+    }
+
+    #[test]
+    fn interleaved_rejects_tiny_batches() {
+        let mut p = params(16, 256, 32);
+        p.variant = BaseVariant::Interleaved;
+        let err = SolvePlan::build(WorkloadShape::new(8, 64), &p, &q470(), 4);
+        assert!(matches!(err, Err(CoreError::BadParams { .. })));
+        // A full warp of systems is the floor.
+        assert!(SolvePlan::build(WorkloadShape::new(32, 64), &p, &q470(), 4).is_ok());
     }
 
     #[test]

@@ -200,7 +200,9 @@ fn chain(params: &SolverParams, policy: &ResiliencePolicy) -> Vec<(&'static str,
         let mut alt = *params;
         alt.variant = match alt.variant {
             BaseVariant::Strided => BaseVariant::Coalesced,
-            BaseVariant::Coalesced => BaseVariant::Strided,
+            // A persistently faulting interleaved fast path degrades to the
+            // staged pipeline in its safe default layout.
+            BaseVariant::Coalesced | BaseVariant::Interleaved => BaseVariant::Strided,
         };
         if steps.iter().all(|(_, p)| *p != alt) {
             steps.push(("alternate-layout", alt));

@@ -48,6 +48,21 @@ impl WorkloadShape {
         ]
     }
 
+    /// The many-small-systems grid motivating the interleaved
+    /// batched-Thomas fast path: deep batches (16K–64K systems) of
+    /// one-to-four-warp systems (32–128 unknowns), the shape an ADI
+    /// half-step over a large 2-D grid or a per-scanline spline fit
+    /// produces. Used by the fig-style sweeps alongside
+    /// [`Self::paper_grid`].
+    pub fn many_small_grid() -> Vec<WorkloadShape> {
+        vec![
+            WorkloadShape::new(16 * 1024, 64),
+            WorkloadShape::new(64 * 1024, 32),
+            WorkloadShape::new(64 * 1024, 64),
+            WorkloadShape::new(64 * 1024, 128),
+        ]
+    }
+
     /// Short label in the paper's notation (`1Kx1K`, `1x2M`, …).
     pub fn label(&self) -> String {
         fn fmt(v: usize) -> String {
@@ -364,6 +379,18 @@ mod tests {
         let grid = WorkloadShape::paper_grid();
         assert_eq!(grid.len(), 4);
         assert_eq!(grid[3].total_equations(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn many_small_grid_is_deep_batches_of_small_systems() {
+        let grid = WorkloadShape::many_small_grid();
+        assert!(!grid.is_empty());
+        for s in &grid {
+            assert!(s.num_systems >= 16 * 1024, "{s:?} not a deep batch");
+            assert!(s.system_size <= 128, "{s:?} not a small system");
+        }
+        assert!(grid.contains(&WorkloadShape::new(64 * 1024, 32)));
+        assert_eq!(WorkloadShape::new(64 * 1024, 32).label(), "64Kx32");
     }
 
     #[test]

@@ -44,10 +44,16 @@ else
 fi
 
 # Sanity: the snapshot must be non-empty JSON with a devices array, the
-# resilience counters of the tuned solve, and the static-analysis pruning
-# counters of the tuning run.
+# resilience counters of the tuned solve, the static-analysis pruning
+# counters of the tuning run, and the many-small layout comparison —
+# including at least one workload where the measured dynamic tuner
+# actually selects the interleaved batched-Thomas fast path.
 grep -q '"devices"' "$out"
 grep -q '"retries"' "$out"
 grep -q '"candidates_pruned"' "$out"
 grep -q '"proofs_failed"' "$out"
+grep -q '"many_small"' "$out"
+grep -q '"staged_pcr_ms"' "$out"
+grep -q '"batched_thomas_ms"' "$out"
+grep -q '"dynamic_layout": "interleaved"' "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)"

@@ -10,12 +10,14 @@
 //!    map, a collapsed barrier that races, a reordered stage ladder, an
 //!    oversized on-chip budget). Each must be *refuted*; a prover that
 //!    certifies its own broken fixtures proves nothing about clean runs.
-//! 2. **Certification sweep** — the multi-stage solver (both
-//!    memory-layout variants), the repack/unpack passes and the three
-//!    prior-art baseline kernels over the Figure 5–8 workload grid, on
-//!    the paper's devices. Every case must come back fully proven:
-//!    OOB-free, race-free, launch-admissible, lint-error-free and within
-//!    the all-sizes shared-memory budget.
+//! 2. **Certification sweep** — the multi-stage solver (all three
+//!    memory-layout variants, the interleaved batched-Thomas family
+//!    wherever the batch admits it), the repack/unpack passes and the
+//!    three prior-art baseline kernels over the Figure 5–8 workload grid
+//!    *plus* the many-small grid, on the paper's devices. Every case
+//!    must come back fully proven: OOB-free, race-free,
+//!    launch-admissible, lint-error-free and within the all-sizes
+//!    shared-memory budget.
 //! 3. **Cross-validation** — a sample of statically-certified cases is
 //!    re-run under the *dynamic* sanitizer (DESIGN.md §3.6). A certified
 //!    case that produces a runtime hazard is a soundness bug in the
@@ -31,9 +33,10 @@ use trisolve_analyze::{
 use trisolve_autotune::{StaticTuner, Tuner};
 use trisolve_core::kernels::{
     base_access_summary, base_config, baseline_access_summary, baseline_config, elem_bytes,
-    repack_access_summary, repack_config, unpack_access_summary, unpack_config, BaselineAlgo,
-    GpuScalar, KernelAccessSummary,
+    interleave_access_summary, interleave_config, repack_access_summary, repack_config,
+    unpack_access_summary, unpack_config, BaselineAlgo, GpuScalar, KernelAccessSummary,
 };
+use trisolve_core::params::INTERLEAVED_MIN_SYSTEMS;
 use trisolve_core::{BaseVariant, SolvePlan, SolverParams};
 use trisolve_gpu_sim::{validate_launch, DeviceSpec, LaunchConfig};
 use trisolve_tridiag::workloads::WorkloadShape;
@@ -204,6 +207,28 @@ fn lint_fixture() -> ProofFixture {
     }
 }
 
+/// Planted defect: the interleave pass's output buffer is one element
+/// short of the batch it scatters into, so the highest interleaved-layout
+/// store (`(n-1)·m + (m-1)`) lands out of bounds. Exercises the prover on
+/// the interleaved access maps specifically — the `j·m + s` scatter is
+/// the family's characteristic pattern.
+fn interleave_oob_fixture() -> ProofFixture {
+    let (m, n) = (64usize, 32usize);
+    let mut summary = interleave_access_summary(m, n);
+    summary.buffer_len -= 1;
+    let proof = prove_kernel(&summary, &interleave_config(m, n, 8), 8);
+    let failures: Vec<String> = proof
+        .failures()
+        .filter(|o| o.name.starts_with("oob-global"))
+        .map(|o| format!("{}: {}", o.name, o.detail))
+        .collect();
+    refutation(
+        "interleaved-layout out-of-bounds scatter",
+        !failures.is_empty(),
+        failures,
+    )
+}
+
 /// Planted defect: an on-chip size four times past the weakest device's
 /// capacity. Both the all-sizes budget proof and the tuner's rejection
 /// predicate must refuse it.
@@ -225,12 +250,13 @@ fn budget_fixture() -> ProofFixture {
     refutation("oversized on-chip budget", failures.len() == 2, failures)
 }
 
-/// Run the four planted-defect fixtures. Each plants exactly one defect
-/// class; a sound prover refutes all four.
+/// Run the five planted-defect fixtures. Each plants exactly one defect
+/// class; a sound prover refutes all five.
 pub fn fixture_checks() -> Vec<ProofFixture> {
     vec![
         oob_fixture(),
         race_fixture(),
+        interleave_oob_fixture(),
         lint_fixture(),
         budget_fixture(),
     ]
@@ -371,7 +397,14 @@ fn sweep_device(
     out: &mut Vec<AnalyzeCase>,
 ) {
     for &shape in shapes {
-        for variant in [BaseVariant::Strided, BaseVariant::Coalesced] {
+        let mut variants = vec![BaseVariant::Strided, BaseVariant::Coalesced];
+        // The interleaved family joins wherever the plan builder admits
+        // it (the batch floor rules elsewhere, matching
+        // `prune_layout_axis`).
+        if shape.num_systems >= INTERLEAVED_MIN_SYSTEMS {
+            variants.push(BaseVariant::Interleaved);
+        }
+        for variant in variants {
             out.push(plan_case(dev, shape, variant, precision, eb));
         }
     }
@@ -379,11 +412,13 @@ fn sweep_device(
     out.push(baseline_case(dev, precision, eb));
 }
 
-/// Run the certification sweep: the full Figure 5–8 grid × both layout
-/// variants × devices (× precisions), plus the repack and baseline
-/// kernel sets per device. Every case is expected to certify.
+/// Run the certification sweep: the Figure 5–8 grid plus the many-small
+/// grid × every admissible layout variant × devices (× precisions), plus
+/// the repack and baseline kernel sets per device. Every case is
+/// expected to certify.
 pub fn sweep(opts: &AnalyzeOptions) -> Vec<AnalyzeCase> {
-    let shapes = WorkloadShape::paper_grid();
+    let mut shapes = WorkloadShape::paper_grid();
+    shapes.extend(WorkloadShape::many_small_grid());
     let mut out = Vec::new();
     for dev in &opts.devices {
         sweep_device(dev, &shapes, "f64", 8, &mut out);
@@ -431,6 +466,7 @@ pub fn cross_validate(opts: &AnalyzeOptions) -> Result<Vec<CrossCheck>, String> 
         (Some(&a), _) => vec![a],
         _ => Vec::new(),
     };
+    let many_small = crate::sanitize::shrunk_many_small(opts.shrink);
     let mut out = Vec::new();
     for dev in &opts.devices {
         for &shape in &sample {
@@ -440,6 +476,22 @@ pub fn cross_validate(opts: &AnalyzeOptions) -> Result<Vec<CrossCheck>, String> 
                     out.push(cross_check::<f32>(dev, shape, variant, "f32")?);
                 }
             }
+        }
+        // The interleaved fast path: certified statically, then re-run
+        // under the dynamic sanitizer on a shrunk many-small batch.
+        out.push(cross_check::<f64>(
+            dev,
+            many_small,
+            BaseVariant::Interleaved,
+            "f64",
+        )?);
+        if opts.both_precisions {
+            out.push(cross_check::<f32>(
+                dev,
+                many_small,
+                BaseVariant::Interleaved,
+                "f32",
+            )?);
         }
     }
     Ok(out)

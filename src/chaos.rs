@@ -26,13 +26,13 @@
 use trisolve_autotune::{StaticTuner, Tuner};
 use trisolve_core::engine::SolveSession;
 use trisolve_core::kernels::{elem_bytes, GpuScalar};
-use trisolve_core::{RecoveryAction, ResiliencePolicy, SolverParams};
+use trisolve_core::{BaseVariant, RecoveryAction, ResiliencePolicy, SolverParams};
 use trisolve_gpu_sim::{DeviceSpec, FaultLog, FaultPlan, Gpu};
 use trisolve_tridiag::cpu_batch::{solve_batch_sequential, BatchAlgorithm};
 use trisolve_tridiag::workloads::{ill_conditioned, non_dominant, random_dominant, WorkloadShape};
 use trisolve_tridiag::SystemBatch;
 
-use crate::sanitize::shrunk_paper_grid;
+use crate::sanitize::{shrunk_many_small, shrunk_paper_grid};
 
 /// Base seed for campaign fault plans and workloads (the paper's
 /// publication year, like the bench and sanitize harnesses).
@@ -318,19 +318,26 @@ fn deviation_from<T: GpuScalar>(x: &[T], reference: &[T]) -> f64 {
 }
 
 /// One campaign case: build the workload, arm the injector, solve
-/// resiliently, compare against the host LU reference.
+/// resiliently, compare against the host LU reference. `layout` forces a
+/// memory-layout variant (the interleaved fast-path cases); `None` takes
+/// whatever the static tuner picks.
 fn run_case<T: GpuScalar>(
     dev: &DeviceSpec,
     shape: WorkloadShape,
     class: &str,
     precision: &str,
     case_seed: u64,
+    layout: Option<BaseVariant>,
 ) -> Result<ChaosCase, String> {
-    let label = format!("{} {} {} {}", dev.name(), shape.label(), precision, class);
+    let mut label = format!("{} {} {} {}", dev.name(), shape.label(), precision, class);
     let batch = class_batch::<T>(class, shape, case_seed)?;
     let reference =
         solve_batch_sequential(&batch, BatchAlgorithm::Lu).map_err(|e| e.to_string())?;
-    let params = StaticTuner.params_for(shape, dev.queryable(), elem_bytes::<T>());
+    let mut params = StaticTuner.params_for(shape, dev.queryable(), elem_bytes::<T>());
+    if let Some(variant) = layout {
+        params.variant = variant;
+        label.push_str(&format!(" {variant:?}"));
+    }
     let policy = ResiliencePolicy::for_elem_bytes(elem_bytes::<T>())
         .with_residual_tolerance(class_tolerance(class, elem_bytes::<T>()));
 
@@ -389,6 +396,7 @@ fn run_case<T: GpuScalar>(
 fn sweep_device<T: GpuScalar>(
     dev: &DeviceSpec,
     shapes: &[WorkloadShape],
+    many_small: WorkloadShape,
     precision: &str,
     base_seed: u64,
     case_idx: &mut u64,
@@ -398,8 +406,23 @@ fn sweep_device<T: GpuScalar>(
         for class in CLASSES {
             let seed = base_seed.wrapping_add(*case_idx);
             *case_idx += 1;
-            out.push(run_case::<T>(dev, shape, class, precision, seed)?);
+            out.push(run_case::<T>(dev, shape, class, precision, seed, None)?);
         }
+    }
+    // The interleaved batched-Thomas fast path under fault injection:
+    // its degradation chain starts by falling back to the staged strided
+    // pipeline, so persistent faults still reach the CPU reference.
+    for class in CLASSES {
+        let seed = base_seed.wrapping_add(*case_idx);
+        *case_idx += 1;
+        out.push(run_case::<T>(
+            dev,
+            many_small,
+            class,
+            precision,
+            seed,
+            Some(BaseVariant::Interleaved),
+        )?);
     }
     Ok(())
 }
@@ -408,12 +431,29 @@ fn sweep_device<T: GpuScalar>(
 /// pipeline recovered it; unrecovered cases carry the structured failure.
 pub fn campaign(opts: &ChaosOptions) -> Result<Vec<ChaosCase>, String> {
     let shapes = shrunk_paper_grid(opts.shrink);
+    let many_small = shrunk_many_small(opts.shrink);
     let mut out = Vec::new();
     let mut case_idx = 0u64;
     for dev in &opts.devices {
-        sweep_device::<f64>(dev, &shapes, "f64", opts.seed, &mut case_idx, &mut out)?;
+        sweep_device::<f64>(
+            dev,
+            &shapes,
+            many_small,
+            "f64",
+            opts.seed,
+            &mut case_idx,
+            &mut out,
+        )?;
         if opts.both_precisions {
-            sweep_device::<f32>(dev, &shapes, "f32", opts.seed, &mut case_idx, &mut out)?;
+            sweep_device::<f32>(
+                dev,
+                &shapes,
+                many_small,
+                "f32",
+                opts.seed,
+                &mut case_idx,
+                &mut out,
+            )?;
         }
     }
     Ok(out)

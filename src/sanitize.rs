@@ -11,10 +11,11 @@
 //!    configuration. Each must be *detected* and classified correctly; a
 //!    sanitizer that misses its own fixtures proves nothing about clean
 //!    runs.
-//! 2. **Shipping sweep** — the multi-stage solver (both memory-layout
-//!    variants), the repack/unpack passes and the three prior-art baseline
-//!    kernels over the Figure 5–8 workload grid, in both precisions, on the
-//!    paper's devices. Every case must come back hazard-free and
+//! 2. **Shipping sweep** — the multi-stage solver (both staged memory
+//!    layouts), the interleaved batched-Thomas fast path on a many-small
+//!    batch, the repack/unpack passes and the three prior-art baseline
+//!    kernels over the Figure 5–8 workload grid, in both precisions, on
+//!    the paper's devices. Every case must come back hazard-free and
 //!    launch-valid.
 //!
 //! The harness is a library so the CI gate (`scripts/check.sh`), the
@@ -97,6 +98,16 @@ impl SweepOptions {
             both_precisions: false,
         }
     }
+}
+
+/// The canonical many-small workload (64K systems of 32 unknowns),
+/// batch-shrunk for dynamic solves. The system size stays 32 — already
+/// minimal — and the batch keeps the interleaved plan's 32-system floor,
+/// so the shrunk shape still builds the `interleave → ithomas →
+/// deinterleave` pipeline.
+pub fn shrunk_many_small(shrink: usize) -> WorkloadShape {
+    let full = WorkloadShape::new(64 * 1024, 32);
+    WorkloadShape::new((full.num_systems / shrink.max(1)).max(32), full.system_size)
 }
 
 /// The Figure 5–8 workload grid, linearly shrunk (system sizes keep a 512
@@ -364,6 +375,7 @@ fn baseline_case<T: GpuScalar>(dev: &DeviceSpec, precision: &str) -> Result<Case
 fn sweep_device<T: GpuScalar>(
     dev: &DeviceSpec,
     shapes: &[WorkloadShape],
+    many_small: WorkloadShape,
     precision: &str,
     out: &mut Vec<CaseResult>,
 ) -> Result<(), String> {
@@ -372,6 +384,14 @@ fn sweep_device<T: GpuScalar>(
             out.push(solve_case::<T>(dev, shape, variant, precision)?);
         }
     }
+    // The interleaved batched-Thomas fast path, forced on a many-small
+    // batch — the only shape class whose plan admits the layout.
+    out.push(solve_case::<T>(
+        dev,
+        many_small,
+        BaseVariant::Interleaved,
+        precision,
+    )?);
     out.push(repack_case::<T>(dev, precision)?);
     out.push(baseline_case::<T>(dev, precision)?);
     Ok(())
@@ -381,11 +401,12 @@ fn sweep_device<T: GpuScalar>(
 /// shipping kernels are expected to produce none.
 pub fn sweep(opts: &SweepOptions) -> Result<Vec<CaseResult>, String> {
     let shapes = shrunk_paper_grid(opts.shrink);
+    let many_small = shrunk_many_small(opts.shrink);
     let mut out = Vec::new();
     for dev in &opts.devices {
-        sweep_device::<f64>(dev, &shapes, "f64", &mut out)?;
+        sweep_device::<f64>(dev, &shapes, many_small, "f64", &mut out)?;
         if opts.both_precisions {
-            sweep_device::<f32>(dev, &shapes, "f32", &mut out)?;
+            sweep_device::<f32>(dev, &shapes, many_small, "f32", &mut out)?;
         }
     }
     Ok(out)
@@ -400,6 +421,14 @@ mod tests {
         let g = shrunk_paper_grid(1024);
         assert_eq!(g.len(), WorkloadShape::paper_grid().len());
         assert!(g.iter().all(|s| s.num_systems >= 1 && s.system_size >= 512));
+    }
+
+    #[test]
+    fn shrunk_many_small_keeps_the_interleaved_batch_floor() {
+        assert_eq!(shrunk_many_small(16), WorkloadShape::new(4096, 32));
+        // Even an absurd shrink never drops below the plan builder's
+        // 32-system floor for the interleaved layout.
+        assert_eq!(shrunk_many_small(1 << 20), WorkloadShape::new(32, 32));
     }
 
     #[test]

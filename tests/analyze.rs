@@ -15,7 +15,7 @@ use trisolve_autotune::Microbench;
 #[test]
 fn planted_defect_fixtures_all_refuted() {
     let fixtures = analyze::fixture_checks();
-    assert_eq!(fixtures.len(), 4);
+    assert_eq!(fixtures.len(), 5);
     for f in &fixtures {
         assert!(f.refuted, "{} not refuted: {}", f.name, f.detail);
         assert!(!f.detail.is_empty());
@@ -25,10 +25,29 @@ fn planted_defect_fixtures_all_refuted() {
 #[test]
 fn full_matrix_certifies_on_every_device_in_both_precisions() {
     let cases = analyze::sweep(&analyze::AnalyzeOptions::full());
-    // Per device and precision: every grid shape x 2 variants, plus the
-    // repack and baseline kernel sets.
-    let per = WorkloadShape::paper_grid().len() * 2 + 2;
+    // Per device and precision: every grid shape (paper + many-small) x
+    // its admissible layout variants (the interleaved family joins at
+    // the 32-system batch floor), plus the repack and baseline kernel
+    // sets.
+    let mut shapes = WorkloadShape::paper_grid();
+    shapes.extend(WorkloadShape::many_small_grid());
+    let per = 2 + shapes
+        .iter()
+        .map(|s| {
+            if s.num_systems >= trisolve::solver::params::INTERLEAVED_MIN_SYSTEMS {
+                3
+            } else {
+                2
+            }
+        })
+        .sum::<usize>();
     assert_eq!(cases.len(), 3 * 2 * per);
+    assert!(
+        cases
+            .iter()
+            .any(|c| c.label.contains("64Kx32") && c.label.contains("Interleaved")),
+        "no many-small interleaved case in the sweep"
+    );
     for c in &cases {
         assert!(c.certified, "{}: {}", c.label, c.failures.join("; "));
         assert!(c.obligations > 0, "{}: nothing proven", c.label);

@@ -24,8 +24,15 @@ fn shipping_kernels_sweep_clean_in_both_precisions() {
         both_precisions: true,
     };
     let cases = sanitize::sweep(&opts).unwrap();
-    // 4 workloads x 2 variants + repack + baselines, per precision.
-    assert_eq!(cases.len(), 20);
+    // 4 workloads x 2 staged variants + the interleaved many-small case
+    // + repack + baselines, per precision.
+    assert_eq!(cases.len(), 22);
+    assert!(
+        cases
+            .iter()
+            .any(|c| c.label.contains("Interleaved") && c.is_clean()),
+        "no clean interleaved case in the sweep"
+    );
     for c in &cases {
         assert!(c.is_clean(), "{}: {:?}", c.label, c.hazards);
         assert!(c.launches > 0, "{}: nothing ran", c.label);
